@@ -1,0 +1,98 @@
+// E11 — google-benchmark microbenchmarks of the numerical substrate: SpMV,
+// preconditioner setup, flow pressure solves, and full 4RM/2RM simulations
+// (complementing Fig. 9(b) with absolute per-kernel numbers).
+#include <benchmark/benchmark.h>
+
+#include "geom/benchmarks.hpp"
+#include "network/generators.hpp"
+#include "sparse/preconditioner.hpp"
+#include "sparse/solvers.hpp"
+#include "thermal/model_2rm.hpp"
+#include "thermal/model_4rm.hpp"
+
+namespace {
+
+using namespace lcn;
+
+const BenchmarkCase& case1() {
+  static const BenchmarkCase bench = make_iccad_case(1);
+  return bench;
+}
+
+const CoolingNetwork& tree_net() {
+  static const CoolingNetwork net = make_tree_network(
+      case1().problem.grid,
+      make_uniform_layout(case1().problem.grid, 30, 64));
+  return net;
+}
+
+sparse::CsrMatrix thermal_matrix(int m) {
+  const Thermal2RM sim(case1().problem, {tree_net()}, m);
+  return sim.assemble(5000.0).matrix;
+}
+
+void BM_SpMV_2RM(benchmark::State& state) {
+  const sparse::CsrMatrix a = thermal_matrix(static_cast<int>(state.range(0)));
+  sparse::Vector x(a.cols(), 1.0);
+  sparse::Vector y(a.rows());
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["nnz"] = static_cast<double>(a.nnz());
+}
+BENCHMARK(BM_SpMV_2RM)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Ilu0Setup(benchmark::State& state) {
+  const sparse::CsrMatrix a = thermal_matrix(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sparse::Ilu0Preconditioner ilu(a);
+    benchmark::DoNotOptimize(&ilu);
+  }
+}
+BENCHMARK(BM_Ilu0Setup)->Arg(2)->Arg(4);
+
+void BM_FlowSolve(benchmark::State& state) {
+  const auto& bench = case1();
+  const ChannelGeometry geom{bench.problem.grid.pitch(), 200e-6};
+  const FlowSolver solver(tree_net(), geom, bench.problem.coolant);
+  for (auto _ : state) {
+    const FlowSolution sol = solver.solve(1.0);
+    benchmark::DoNotOptimize(sol.system_flow);
+  }
+}
+BENCHMARK(BM_FlowSolve);
+
+void BM_Simulate2RM(benchmark::State& state) {
+  const Thermal2RM sim(case1().problem, {tree_net()},
+                       static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const ThermalField field = sim.simulate(5000.0);
+    benchmark::DoNotOptimize(field.t_max);
+  }
+  state.counters["nodes"] = static_cast<double>(sim.node_count());
+}
+BENCHMARK(BM_Simulate2RM)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_Simulate4RM(benchmark::State& state) {
+  const Thermal4RM sim(case1().problem, {tree_net()});
+  for (auto _ : state) {
+    const ThermalField field = sim.simulate(5000.0);
+    benchmark::DoNotOptimize(field.t_max);
+  }
+  state.counters["nodes"] = static_cast<double>(sim.node_count());
+}
+BENCHMARK(BM_Simulate4RM)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_Assemble4RM(benchmark::State& state) {
+  const Thermal4RM sim(case1().problem, {tree_net()});
+  for (auto _ : state) {
+    const AssembledThermal system = sim.assemble(5000.0);
+    benchmark::DoNotOptimize(system.matrix.nnz());
+  }
+}
+BENCHMARK(BM_Assemble4RM)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// E7 — Table 3: pumping-power minimization (Problem 1). For every ICCAD
+// case the straight-channel baseline (best global direction) is compared to
+// the SA-optimized tree-like network, both signed off with the 4RM model.
+// The contest first place's manual designs were never published, so that
+// middle row of the paper's table cannot be regenerated (DESIGN.md §4).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "opt/sa.hpp"
+
+int main() {
+  using namespace lcn;
+  benchutil::banner("Table 3 — pumping power minimization (Problem 1)",
+                    "paper §6 Table 3");
+  const double scale = benchutil::sa_scale();
+  const std::vector<int> ids = benchutil::case_ids("1,2,3,4,5");
+  std::printf("SA scale %.2f (paper schedule ~1.0; set LCN_SA_SCALE)\n",
+              scale);
+  std::printf("stage schedule (paper Table 1):\n%s\n",
+              format_stages(default_p1_stages(scale)).c_str());
+
+  TextTable table({"case", "design", "P_sys (kPa)", "Tmax (K)", "dT (K)",
+                   "W_pump (mW)", "W saving"});
+  CsvWriter csv({"case", "design", "p_sys_pa", "t_max_k", "delta_t_k",
+                 "w_pump_w", "seconds"});
+
+  for (int id : ids) {
+    const BenchmarkCase bench = make_iccad_case(id);
+
+    const BaselineOutcome base =
+        best_straight_baseline(bench, DesignObjective::kPumpingPower);
+    if (base.feasible) {
+      table.add_row({cell_int(id), "straight (baseline)",
+                     cell(base.eval.p_sys / 1e3, 2),
+                     cell(base.eval.at_p.t_max, 1),
+                     cell(base.eval.at_p.delta_t, 2),
+                     cell(base.eval.w_pump * 1e3, 3), "-"});
+    } else {
+      table.add_row({cell_int(id), "straight (baseline)", cell_na(),
+                     cell_na(), cell_na(), cell_na(),
+                     "infeasible"});
+    }
+    csv.add_row({cell_int(id), "straight",
+                 base.feasible ? cell(base.eval.p_sys, 2) : cell_na(),
+                 base.feasible ? cell(base.eval.at_p.t_max, 3) : cell_na(),
+                 base.feasible ? cell(base.eval.at_p.delta_t, 3) : cell_na(),
+                 base.feasible ? cell_sci(base.eval.w_pump, 4) : cell_na(),
+                 "0"});
+
+    table.add_row({cell_int(id), "manual (contest 1st)", cell_na(), cell_na(),
+                   cell_na(), cell_na(), "unpublished"});
+
+    TreeTopologyOptimizer opt(bench, DesignObjective::kPumpingPower,
+                              0xdac17u + static_cast<std::uint64_t>(id));
+    const DesignOutcome ours = opt.run(default_p1_stages(scale));
+    std::string saving = "-";
+    if (ours.feasible && base.feasible) {
+      saving = strfmt("%.1f%%", 100.0 * (1.0 - ours.eval.w_pump /
+                                                   base.eval.w_pump));
+    }
+    if (ours.feasible) {
+      table.add_row({cell_int(id), "tree-like (ours)",
+                     cell(ours.eval.p_sys / 1e3, 2),
+                     cell(ours.eval.at_p.t_max, 1),
+                     cell(ours.eval.at_p.delta_t, 2),
+                     cell(ours.eval.w_pump * 1e3, 3), saving});
+    } else {
+      table.add_row({cell_int(id), "tree-like (ours)", cell_na(), cell_na(),
+                     cell_na(), cell_na(), "infeasible"});
+    }
+    table.add_rule();
+    csv.add_row({cell_int(id), "tree",
+                 ours.feasible ? cell(ours.eval.p_sys, 2) : cell_na(),
+                 ours.feasible ? cell(ours.eval.at_p.t_max, 3) : cell_na(),
+                 ours.feasible ? cell(ours.eval.at_p.delta_t, 3) : cell_na(),
+                 ours.feasible ? cell_sci(ours.eval.w_pump, 4) : cell_na(),
+                 cell(ours.seconds, 1)});
+    std::printf("case %d done: baseline %s, ours %s (%.0f s, %zu candidate "
+                "evaluations)\n",
+                id, base.feasible ? "feasible" : "infeasible",
+                ours.feasible ? "feasible" : "infeasible", ours.seconds,
+                ours.evaluations);
+  }
+
+  std::printf("\n%s", table.str().c_str());
+  std::printf(
+      "\nexpected shape (paper): tree-like networks save a large fraction of\n"
+      "pumping power at identical constraints (paper: up to 84.03%%); the\n"
+      "hottest case is the hardest for straight channels.\n");
+  benchutil::maybe_save_csv(csv, "table3_p1.csv");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared helpers for the benchmark harness binaries.
+//
+// Every bench runs stand-alone with no arguments; workload scale is tuned
+// with environment knobs so the suite finishes on a laptop-class machine:
+//   LCN_SA_SCALE   multiplies SA iteration counts (default 0.25; the paper's
+//                  80-core schedule corresponds to ~1.0)
+//   LCN_CASES      comma-separated ICCAD case ids to run (default depends on
+//                  the bench)
+//   LCN_FAST       =1 shrinks every bench to a smoke run
+//   LCN_NO_CSV     =1 suppresses CSV side outputs (default: written to
+//                  ./bench_results/)
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/env.hpp"
+#include "common/strings.hpp"
+
+namespace lcn::benchutil {
+
+inline double sa_scale(double fallback = 0.25) {
+  if (env_flag("LCN_FAST")) return 0.08;
+  return env_double("LCN_SA_SCALE", fallback);
+}
+
+inline std::vector<int> case_ids(const std::string& fallback) {
+  const std::string raw = env_string("LCN_CASES", fallback);
+  std::vector<int> ids;
+  for (const std::string& field : split(raw, ',')) {
+    const auto t = trim(field);
+    if (t.empty()) continue;
+    const int id = std::stoi(std::string(t));
+    if (id >= 1 && id <= 5) ids.push_back(id);
+  }
+  return ids;
+}
+
+inline void maybe_save_csv(const CsvWriter& csv, const std::string& name) {
+  if (env_flag("LCN_NO_CSV")) return;
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) return;
+  try {
+    csv.save("bench_results/" + name);
+    std::printf("  [csv: bench_results/%s]\n", name.c_str());
+  } catch (...) {
+    // CSV side outputs are best-effort.
+  }
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace lcn::benchutil

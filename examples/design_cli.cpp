@@ -1,0 +1,121 @@
+// Command-line design driver: the full Algorithm-1 flow behind flags.
+//
+//   example_design_cli [--case N] [--objective p1|p2] [--scale S]
+//                      [--seed K] [--out design.network]
+//
+// Defaults run a quick Problem-1 design of case 2 and print the outcome;
+// with --out the winning network is serialized for downstream tools.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strings.hpp"
+#include "geom/problem_io.hpp"
+#include "opt/report.hpp"
+#include "opt/sa.hpp"
+
+namespace {
+
+using namespace lcn;
+
+struct CliOptions {
+  int case_id = 2;
+  DesignObjective objective = DesignObjective::kPumpingPower;
+  double scale = 0.15;
+  std::uint64_t seed = 1;
+  std::string out_path;
+};
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--case") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options.case_id = std::atoi(v);
+      if (options.case_id < 1 || options.case_id > 5) return false;
+    } else if (arg == "--objective") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "p1") == 0) {
+        options.objective = DesignObjective::kPumpingPower;
+      } else if (std::strcmp(v, "p2") == 0) {
+        options.objective = DesignObjective::kThermalGradient;
+      } else {
+        return false;
+      }
+    } else if (arg == "--scale") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options.scale = std::atof(v);
+      if (options.scale <= 0.0) return false;
+    } else if (arg == "--seed") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--out") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options.out_path = v;
+    } else if (arg == "--help") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) {
+    std::printf(
+        "usage: %s [--case 1..5] [--objective p1|p2] [--scale S]\n"
+        "          [--seed K] [--out design.network]\n",
+        argv[0]);
+    return 2;
+  }
+
+  BenchmarkCase bench = make_iccad_case(options.case_id);
+  const bool p2 = options.objective == DesignObjective::kThermalGradient;
+  if (p2) bench.constraints.w_pump_max = problem2_pump_budget(bench);
+
+  std::printf("case %d (%s): %.1f W, %s\n", options.case_id,
+              bench.name.c_str(), bench.problem.total_power(),
+              p2 ? "minimize dT under a pumping budget"
+                 : "minimize W_pump under dT*/Tmax*");
+
+  const auto stages = p2 ? default_p2_stages(options.scale)
+                         : default_p1_stages(options.scale);
+  std::printf("%s", format_stages(stages).c_str());
+
+  TreeTopologyOptimizer optimizer(bench, options.objective, options.seed);
+  const DesignOutcome outcome = optimizer.run(stages);
+  if (!outcome.feasible) {
+    std::printf("result: infeasible (no design met the constraints)\n");
+    return 1;
+  }
+  std::printf(
+      "result: P_sys = %.2f kPa, W_pump = %.3f mW, Tmax = %.2f K, "
+      "dT = %.2f K\n"
+      "        direction %d, %zu candidate evaluations, %.0f s\n",
+      outcome.eval.p_sys / 1e3, outcome.eval.w_pump * 1e3,
+      outcome.eval.at_p.t_max, outcome.eval.at_p.delta_t, outcome.direction,
+      outcome.evaluations, outcome.seconds);
+
+  if (!options.out_path.empty()) {
+    write_text_file(options.out_path, outcome.network.to_text());
+    std::printf("design written to %s\n", options.out_path.c_str());
+  }
+
+  std::printf("\n%s",
+              design_report(bench, outcome.network, outcome.eval.p_sys)
+                  .c_str());
+  return 0;
+}

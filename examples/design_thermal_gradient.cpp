@@ -1,0 +1,47 @@
+// Problem 2 end-to-end: design a cooling network minimizing the thermal
+// gradient ΔT under a pumping-power budget (0.1% of die power) and T*_max,
+// as in the paper's Table 4.
+#include <cstdio>
+
+#include "common/env.hpp"
+#include "opt/sa.hpp"
+
+int main() {
+  using namespace lcn;
+
+  BenchmarkCase bench = make_iccad_case(2);
+  bench.constraints.w_pump_max = problem2_pump_budget(bench);
+  std::printf("benchmark %s: %.1f W, W*_pump = %.2f mW, Tmax* = %.2f K\n",
+              bench.name.c_str(), bench.problem.total_power(),
+              bench.constraints.w_pump_max * 1e3, bench.constraints.t_max);
+
+  const BaselineOutcome base =
+      best_straight_baseline(bench, DesignObjective::kThermalGradient);
+  if (base.feasible) {
+    std::printf("baseline: dT = %.2f K at P_sys = %.2f kPa "
+                "(W_pump = %.2f mW)\n",
+                base.eval.at_p.delta_t, base.eval.p_sys / 1e3,
+                base.eval.w_pump * 1e3);
+  } else {
+    std::printf("baseline: infeasible under the budget\n");
+  }
+
+  const double scale = env_double("LCN_SA_SCALE", 0.15);
+  TreeTopologyOptimizer optimizer(bench, DesignObjective::kThermalGradient,
+                                  /*seed=*/2017);
+  const DesignOutcome ours = optimizer.run(default_p2_stages(scale));
+  if (!ours.feasible) {
+    std::printf("tree-like: SA found no feasible design at this scale\n");
+    return 1;
+  }
+  std::printf("tree-like: dT = %.2f K at P_sys = %.2f kPa "
+              "(W_pump = %.2f mW, direction %d, %.0f s)\n",
+              ours.eval.at_p.delta_t, ours.eval.p_sys / 1e3,
+              ours.eval.w_pump * 1e3, ours.direction, ours.seconds);
+  if (base.feasible) {
+    std::printf("thermal-gradient reduction vs baseline: %.1f%%\n",
+                100.0 * (1.0 - ours.eval.at_p.delta_t /
+                                   base.eval.at_p.delta_t));
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Topology exploration (the paper's §4.3 "early exploration", condensed):
+// compare straight channels, a serpentine, a comb manifold, and tree-like
+// networks with different branch positions at the same pump operating point
+// and at their individually optimal operating points.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hpp"
+#include "geom/benchmarks.hpp"
+#include "network/generators.hpp"
+#include "opt/evaluator.hpp"
+
+int main() {
+  using namespace lcn;
+
+  const BenchmarkCase bench = make_iccad_case(1);
+  const Grid2D& grid = bench.problem.grid;
+  const SimConfig sim{ThermalModelKind::k2RM, 4};
+
+  struct Candidate {
+    const char* name;
+    CoolingNetwork net;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"straight", make_straight_channels(grid)});
+  candidates.push_back({"serpentine", make_serpentine(grid)});
+  candidates.push_back({"comb", make_comb(grid)});
+  candidates.push_back({"tree b=(20,50)", make_tree_network(
+                            grid, make_uniform_layout(grid, 20, 50))});
+  candidates.push_back({"tree b=(30,64)", make_tree_network(
+                            grid, make_uniform_layout(grid, 30, 64))});
+  candidates.push_back({"tree b=(50,80)", make_tree_network(
+                            grid, make_uniform_layout(grid, 50, 80))});
+
+  std::printf("fixed operating point, P_sys = 12 kPa:\n");
+  TextTable fixed({"network", "liquid cells", "R_sys (Pa.s/m^3)", "dT (K)",
+                   "Tmax (K)", "W_pump (mW)"});
+  for (Candidate& c : candidates) {
+    SystemEvaluator eval(bench.problem, c.net, sim);
+    const ThermalProbe p = eval.probe(12000.0);
+    fixed.add_row({c.name, cell_int(static_cast<long>(c.net.liquid_count())),
+                   cell_sci(eval.system_resistance(), 2), cell(p.delta_t, 2),
+                   cell(p.t_max, 2), cell(eval.pumping_power(12000.0) * 1e3, 3)});
+  }
+  std::printf("%s", fixed.str().c_str());
+
+  std::printf("\nper-network optimal operating point (Problem 1 evaluation,\n"
+              "dT* = %.0f K, Tmax* = %.2f K):\n",
+              bench.constraints.delta_t_max, bench.constraints.t_max);
+  TextTable opt({"network", "feasible", "P_sys (kPa)", "W_pump (mW)"});
+  for (Candidate& c : candidates) {
+    SystemEvaluator eval(bench.problem, c.net, sim);
+    const EvalResult r = evaluate_p1(eval, bench.constraints);
+    opt.add_row({c.name, r.feasible ? "yes" : "no",
+                 r.feasible ? cell(r.p_sys / 1e3, 2) : cell_na(),
+                 r.feasible ? cell(r.w_pump * 1e3, 3) : cell_na()});
+  }
+  std::printf("%s", opt.str().c_str());
+  std::printf("\nobservation (paper §4.3): the tree-like structure beats the\n"
+              "manual styles by matching wall area to the coolant's\n"
+              "temperature rise; serpentines have huge fluid resistance.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// File-driven flow (paper Algorithm 1 inputs are "stack description and
+// floorplan files"): load a problem from the shipped demo files, check a
+// few candidate networks, and write the winning design plus its temperature
+// map to disk.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "geom/problem_io.hpp"
+#include "network/generators.hpp"
+#include "network/network_stats.hpp"
+#include "opt/evaluator.hpp"
+#include "thermal/image.hpp"
+
+int main() {
+  using namespace lcn;
+
+  const std::string data_dir = LCN_DATA_DIR;
+  const ProblemDescription desc =
+      load_problem(data_dir + "/demo_stack.txt",
+                   {data_dir + "/demo_die0.flp", data_dir + "/demo_die1.flp"});
+  std::printf("loaded %dx%d grid, %d layers, %.2f W total, dT* = %.1f K\n",
+              desc.problem.grid.rows(), desc.problem.grid.cols(),
+              desc.problem.stack.layer_count(), desc.problem.total_power(),
+              desc.constraints.delta_t_max);
+
+  const Grid2D& grid = desc.problem.grid;
+  const double h_c = desc.problem.stack
+                         .layer(desc.problem.stack.channel_layers().front())
+                         .thickness;
+
+  struct Candidate {
+    const char* name;
+    CoolingNetwork net;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"straight", make_straight_channels(grid)});
+  candidates.push_back({"tree(16,32)", make_tree_network(
+                            grid, make_uniform_layout(grid, 16, 32))});
+  candidates.push_back(
+      {"modulated(16 rows)",
+       make_modulated_straight(
+           grid, density_profile_from_power(desc.problem.source_power[0], 16))});
+
+  TextTable table({"network", "branches", "side wall (mm^2)", "feasible",
+                   "P_sys (kPa)", "W_pump (mW)"});
+  const Candidate* best = nullptr;
+  EvalResult best_eval = EvalResult::infeasible_result();
+  for (const Candidate& c : candidates) {
+    const NetworkStats stats = compute_network_stats(c.net, h_c);
+    SystemEvaluator eval(desc.problem, c.net, {ThermalModelKind::k2RM, 3});
+    const EvalResult r = evaluate_p1(eval, desc.constraints);
+    table.add_row({c.name, cell_int(static_cast<long>(stats.branch_cells)),
+                   cell(stats.side_wall_area * 1e6, 2),
+                   r.feasible ? "yes" : "no",
+                   r.feasible ? cell(r.p_sys / 1e3, 2) : cell_na(),
+                   r.feasible ? cell(r.w_pump * 1e3, 3) : cell_na()});
+    if (r.score < best_eval.score) {
+      best_eval = r;
+      best = &c;
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  if (best == nullptr || !best_eval.feasible) {
+    std::printf("no feasible candidate\n");
+    return 1;
+  }
+  std::printf("\nwinner: %s at %.2f kPa\n", best->name,
+              best_eval.p_sys / 1e3);
+
+  // Persist the design and its sign-off temperature map.
+  write_text_file("demo_design.network", best->net.to_text());
+  SystemEvaluator signoff(desc.problem, best->net,
+                          {ThermalModelKind::k4RM, 1});
+  const ThermalField field = signoff.field(best_eval.p_sys);
+  write_text_file("demo_design_bottom_layer.pgm",
+                  temperature_pgm(field, 0, 4));
+  std::printf("wrote demo_design.network and demo_design_bottom_layer.pgm\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "common/assert.hpp"
+
+#include <sstream>
+
+namespace lcn::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << ": `" << expr << "` failed at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_contract(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw ContractError(format("precondition", expr, file, line, msg));
+}
+
+void throw_internal(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw InternalError(format("invariant", expr, file, line, msg));
+}
+
+}  // namespace lcn::detail

@@ -1,0 +1,55 @@
+// Lightweight contract checking used across the library.
+//
+// LCN_REQUIRE  — precondition on public API input; always on; throws
+//                lcn::ContractError so callers (and tests) can observe it.
+// LCN_CHECK    — internal invariant; always on; throws lcn::InternalError.
+// LCN_ASSERT   — hot-path invariant; compiled out in NDEBUG builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lcn {
+
+/// Violation of a documented precondition of a public API.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Violation of an internal invariant (a bug in this library).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Runtime failure (singular system, non-convergence, bad file, ...).
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_contract(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+[[noreturn]] void throw_internal(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+}  // namespace lcn
+
+#define LCN_REQUIRE(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr)) ::lcn::detail::throw_contract(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define LCN_CHECK(expr, msg)                                            \
+  do {                                                                  \
+    if (!(expr)) ::lcn::detail::throw_internal(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define LCN_ASSERT(expr, msg) ((void)0)
+#else
+#define LCN_ASSERT(expr, msg) LCN_CHECK(expr, msg)
+#endif

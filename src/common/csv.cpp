@@ -1,0 +1,55 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace lcn {
+
+namespace {
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LCN_REQUIRE(!header_.empty(), "csv needs at least one column");
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  LCN_REQUIRE(row.size() == header_.size(),
+              "csv row width must match header");
+  rows_.push_back(row);
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw RuntimeError("cannot open CSV output file: " + path);
+  out << str();
+  if (!out) throw RuntimeError("failed writing CSV output file: " + path);
+}
+
+}  // namespace lcn

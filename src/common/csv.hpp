@@ -1,0 +1,26 @@
+// CSV emission for benchmark series (figure reproductions write both an
+// aligned table to stdout and an optional CSV file for plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lcn {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& row);
+
+  std::string str() const;
+
+  /// Write to path; throws lcn::RuntimeError on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lcn

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Level is controlled by the LCN_LOG env var
+// (error|warn|info|debug); default is warn so library output stays quiet
+// inside tests and benches unless asked for.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lcn {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+bool log_enabled(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace lcn
+
+#define LCN_LOG(level)                      \
+  if (!::lcn::log_enabled(level)) {         \
+  } else                                    \
+    ::lcn::detail::LogLine(level)
+
+#define LCN_ERROR() LCN_LOG(::lcn::LogLevel::kError)
+#define LCN_WARN() LCN_LOG(::lcn::LogLevel::kWarn)
+#define LCN_INFO() LCN_LOG(::lcn::LogLevel::kInfo)
+#define LCN_DEBUG() LCN_LOG(::lcn::LogLevel::kDebug)

@@ -1,0 +1,91 @@
+// Deterministic random number generation (SplitMix64 seeding + xoshiro256**).
+//
+// The optimizer must be reproducible across runs and platforms, so we avoid
+// std::mt19937/std::uniform_* whose streams are not portable, and keep the
+// whole stream derivable from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace lcn {
+
+/// SplitMix64 — used to expand a user seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), public domain reference algorithm.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire-style rejection.
+  std::uint64_t next_below(std::uint64_t bound) {
+    LCN_REQUIRE(bound > 0, "next_below needs a positive bound");
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    LCN_REQUIRE(lo <= hi, "next_int needs lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_real(double lo, double hi) {
+    LCN_REQUIRE(lo <= hi, "next_real needs lo <= hi");
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+  /// Derive an independent child stream (for per-thread / per-round rngs).
+  Rng fork() { return Rng(next_u64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace lcn

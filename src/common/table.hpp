@@ -1,0 +1,38 @@
+// ASCII table formatting for the benchmark harness: benches print the same
+// rows the paper's tables report, aligned for reading in a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lcn {
+
+/// Column-aligned text table. Cells are strings; use cell() helpers to
+/// format numbers consistently.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Render with column padding and header separator.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+/// Fixed-precision formatting helpers.
+std::string cell(double value, int precision = 2);
+std::string cell_int(long value);
+std::string cell_sci(double value, int precision = 3);
+/// "N/A" marker used when a configuration is infeasible (paper Table 3).
+std::string cell_na();
+
+}  // namespace lcn

@@ -1,0 +1,110 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/env.hpp"
+
+namespace lcn {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+// Shared by the caller and all pool shards; owned via shared_ptr so shards
+// that dequeue after the caller has already finished stay valid.
+struct ForState {
+  explicit ForState(std::size_t n, std::function<void(std::size_t)> f)
+      : count(n), fn(std::move(f)) {}
+  const std::size_t count;
+  const std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == count) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || workers_.size() == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>(count, fn);
+  const std::size_t shards = std::min(workers_.size(), count);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t s = 0; s + 1 < shards; ++s) {
+      tasks_.push([state] { state->drain(); });
+    }
+  }
+  cv_.notify_all();
+  state->drain();  // the calling thread participates
+
+  {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] { return state->done.load() == count; });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(static_cast<std::size_t>(env_int("LCN_THREADS", 0)));
+  return pool;
+}
+
+}  // namespace lcn

@@ -1,0 +1,46 @@
+// Fixed-size thread pool with a parallel_for_each helper.
+//
+// The paper evaluates 64 SA neighbors simultaneously on an 80-core server;
+// we reproduce the structure with a pool sized to the host (or to the
+// LCN_THREADS env knob) so schedules stay identical regardless of core count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lcn {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, count) across the pool; blocks until all done.
+  /// Exceptions from tasks are captured and the first one is rethrown.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Pool shared by the optimizer; sized by LCN_THREADS (default: all cores).
+ThreadPool& global_pool();
+
+}  // namespace lcn

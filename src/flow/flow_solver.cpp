@@ -1,0 +1,191 @@
+#include "flow/flow_solver.hpp"
+
+#include <queue>
+
+#include "common/assert.hpp"
+#include "sparse/solvers.hpp"
+
+namespace lcn {
+
+double FlowSolution::system_resistance() const {
+  LCN_REQUIRE(system_flow > 0.0, "system flow must be positive");
+  return p_ref / system_flow;
+}
+
+double FlowSolution::pumping_power(double p_sys) const {
+  LCN_REQUIRE(p_sys >= 0.0, "pressure drop must be non-negative");
+  return p_sys * p_sys / system_resistance();
+}
+
+double FlowSolution::flow_toward(const Grid2D& grid, int row, int col,
+                                 Side side) const {
+  const std::int32_t idx = liquid_index[grid.index(row, col)];
+  LCN_REQUIRE(idx >= 0, "flow_toward: cell is not liquid");
+  const auto i = static_cast<std::size_t>(idx);
+  switch (side) {
+    case Side::kEast:
+      return q_east[i];
+    case Side::kSouth:
+      return q_south[i];
+    case Side::kWest: {
+      if (col == 0) return 0.0;
+      const std::int32_t w = liquid_index[grid.index(row, col - 1)];
+      return w >= 0 ? -q_east[static_cast<std::size_t>(w)] : 0.0;
+    }
+    case Side::kNorth: {
+      if (row == 0) return 0.0;
+      const std::int32_t n = liquid_index[grid.index(row - 1, col)];
+      return n >= 0 ? -q_south[static_cast<std::size_t>(n)] : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+FlowSolver::FlowSolver(const CoolingNetwork& net,
+                       const ChannelGeometry& channel,
+                       const CoolantProperties& coolant,
+                       const FlowOptions& options)
+    : net_(net), channel_(channel), coolant_(coolant), options_(options) {
+  LCN_REQUIRE(options.edge_conductance_factor > 0.0,
+              "edge conductance factor must be positive");
+}
+
+FlowSolution FlowSolver::solve(double p_sys) const {
+  LCN_REQUIRE(p_sys > 0.0, "system pressure drop must be positive");
+  const Grid2D& grid = net_.grid();
+
+  FlowSolution sol;
+  sol.p_ref = p_sys;
+  sol.liquid_cells = net_.liquid_cells();
+  const std::size_t n = sol.liquid_cells.size();
+  if (n == 0) throw RuntimeError("flow solve: network has no liquid cells");
+  sol.liquid_index.assign(grid.cell_count(), -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    sol.liquid_index[sol.liquid_cells[i]] = static_cast<std::int32_t>(i);
+  }
+
+  // Every liquid component must carry at least one port, or pressures on it
+  // are undefined and G is singular.
+  {
+    std::vector<char> reached(n, 0);
+    std::queue<std::size_t> frontier;
+    for (const Port& port : net_.ports()) {
+      const std::int32_t idx = sol.liquid_index[grid.index(port.row, port.col)];
+      LCN_CHECK(idx >= 0, "port must open into a liquid cell");
+      if (!reached[static_cast<std::size_t>(idx)]) {
+        reached[static_cast<std::size_t>(idx)] = 1;
+        frontier.push(static_cast<std::size_t>(idx));
+      }
+    }
+    std::size_t count = frontier.size();
+    while (!frontier.empty()) {
+      const std::size_t i = frontier.front();
+      frontier.pop();
+      const CellCoord cc = grid.coord(sol.liquid_cells[i]);
+      const int dr[] = {1, -1, 0, 0};
+      const int dc[] = {0, 0, 1, -1};
+      for (int k = 0; k < 4; ++k) {
+        const int nr = cc.row + dr[k];
+        const int nc = cc.col + dc[k];
+        if (!grid.in_bounds(nr, nc)) continue;
+        const std::int32_t jdx = sol.liquid_index[grid.index(nr, nc)];
+        if (jdx < 0 || reached[static_cast<std::size_t>(jdx)]) continue;
+        reached[static_cast<std::size_t>(jdx)] = 1;
+        frontier.push(static_cast<std::size_t>(jdx));
+        ++count;
+      }
+    }
+    if (count != n) {
+      throw RuntimeError(
+          "flow solve: a liquid component has no inlet/outlet (singular "
+          "pressure system)");
+    }
+  }
+
+  const double g_bulk = fluid_conductance(channel_, coolant_, grid.pitch());
+  const double g_edge = g_bulk * options_.edge_conductance_factor;
+
+  sparse::TripletList triplets(n, n);
+  sparse::Vector rhs(n, 0.0);
+
+  // Cell-to-cell conductances (east and south neighbors cover each pair once).
+  for (std::size_t i = 0; i < n; ++i) {
+    const CellCoord cc = grid.coord(sol.liquid_cells[i]);
+    const int neighbors[2][2] = {{cc.row, cc.col + 1}, {cc.row + 1, cc.col}};
+    for (const auto& nb : neighbors) {
+      if (!grid.in_bounds(nb[0], nb[1])) continue;
+      const std::int32_t jdx = sol.liquid_index[grid.index(nb[0], nb[1])];
+      if (jdx < 0) continue;
+      const auto j = static_cast<std::size_t>(jdx);
+      triplets.add(i, i, g_bulk);
+      triplets.add(j, j, g_bulk);
+      triplets.add(i, j, -g_bulk);
+      triplets.add(j, i, -g_bulk);
+    }
+  }
+
+  // Ports: inlet at P_sys, outlet at 0 — both appear as diagonal terms, the
+  // inlet additionally drives the right-hand side.
+  for (const Port& port : net_.ports()) {
+    const std::int32_t idx = sol.liquid_index[grid.index(port.row, port.col)];
+    const auto i = static_cast<std::size_t>(idx);
+    triplets.add(i, i, g_edge);
+    if (port.kind == PortKind::kInlet) rhs[i] += g_edge * p_sys;
+  }
+
+  const sparse::CsrMatrix matrix = triplets.to_csr();
+  sol.pressure.assign(n, 0.0);
+  sparse::SolveOptions opts;
+  opts.rel_tolerance = options_.rel_tolerance;
+  sparse::solve_spd_or_throw(matrix, rhs, sol.pressure, "flow pressure solve",
+                             opts);
+
+  // Local flow rates (Eq. 1).
+  sol.q_east.assign(n, 0.0);
+  sol.q_south.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const CellCoord cc = grid.coord(sol.liquid_cells[i]);
+    if (grid.in_bounds(cc.row, cc.col + 1)) {
+      const std::int32_t j = sol.liquid_index[grid.index(cc.row, cc.col + 1)];
+      if (j >= 0) {
+        sol.q_east[i] =
+            g_bulk * (sol.pressure[i] - sol.pressure[static_cast<std::size_t>(j)]);
+      }
+    }
+    if (grid.in_bounds(cc.row + 1, cc.col)) {
+      const std::int32_t j = sol.liquid_index[grid.index(cc.row + 1, cc.col)];
+      if (j >= 0) {
+        sol.q_south[i] =
+            g_bulk * (sol.pressure[i] - sol.pressure[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+
+  sol.port_flow.resize(net_.ports().size());
+  double inflow = 0.0;
+  double outflow = 0.0;
+  for (std::size_t p = 0; p < net_.ports().size(); ++p) {
+    const Port& port = net_.ports()[p];
+    const std::int32_t idx = sol.liquid_index[grid.index(port.row, port.col)];
+    const double cell_pressure = sol.pressure[static_cast<std::size_t>(idx)];
+    if (port.kind == PortKind::kInlet) {
+      sol.port_flow[p] = g_edge * (p_sys - cell_pressure);
+      inflow += sol.port_flow[p];
+    } else {
+      sol.port_flow[p] = g_edge * cell_pressure;
+      outflow += sol.port_flow[p];
+    }
+  }
+  LCN_CHECK(inflow > 0.0, "system inflow must be positive");
+  sol.system_flow = 0.5 * (inflow + outflow);  // equal up to solver residual
+  return sol;
+}
+
+FlowSolution solve_unit_flow(const CoolingNetwork& net,
+                             const ChannelGeometry& channel,
+                             const CoolantProperties& coolant,
+                             const FlowOptions& options) {
+  return FlowSolver(net, channel, coolant, options).solve(1.0);
+}
+
+}  // namespace lcn

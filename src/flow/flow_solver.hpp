@@ -1,0 +1,88 @@
+// Flow-rate computation inside a cooling network (paper §2.1).
+//
+// For fully developed laminar flow, the volumetric flow between neighboring
+// liquid cells is Q_ij = g_fluid (P_i - P_j) (Eq. 1) with
+// g_fluid = D_h² A_c / (32 l µ); volume conservation at every cell (Eq. 2)
+// yields the SPD linear system G·P = Q_in (Eq. 3) with the outlet pressure
+// pinned at 0 and the inlet pressure at P_sys.
+//
+// The system is linear in P_sys, so we solve once at unit pressure and scale:
+// pressures, flow rates and the system flow rate all scale by P_sys, which
+// lets the optimizer probe many pressures per network with a single solve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/materials.hpp"
+#include "network/cooling_network.hpp"
+
+namespace lcn {
+
+struct FlowOptions {
+  /// Ratio of an inlet/outlet surface conductance to the cell-to-cell bulk
+  /// conductance. The paper uses "a smaller fluid conductance" at ports to
+  /// capture entrance/exit losses; 0.5 halves the bulk value.
+  double edge_conductance_factor = 0.5;
+  double rel_tolerance = 1e-11;
+};
+
+/// Flow field at a reference system pressure drop `p_ref` (normally 1 Pa).
+/// Multiply by any P_sys/p_ref to get the field at that pressure.
+struct FlowSolution {
+  double p_ref = 1.0;
+
+  /// Row-major linear ids of liquid cells, ascending; positions index the
+  /// per-liquid-cell arrays below.
+  std::vector<std::size_t> liquid_cells;
+  /// cell linear id -> dense liquid index, or -1 for non-liquid cells.
+  std::vector<std::int32_t> liquid_index;
+
+  std::vector<double> pressure;  ///< Pa at each liquid cell (outlet = 0)
+
+  /// Signed flow (m³/s) from each liquid cell to its east / south liquid
+  /// neighbor; 0 when that neighbor is not liquid.
+  std::vector<double> q_east;
+  std::vector<double> q_south;
+
+  /// Flow through each port of the network (aligned with net.ports()):
+  /// positive = into the network at inlets, out of it at outlets.
+  std::vector<double> port_flow;
+
+  double system_flow = 0.0;  ///< Q_sys (m³/s) at p_ref
+
+  /// System fluid resistance R_sys = p_ref / Q_sys (Pa·s/m³).
+  double system_resistance() const;
+
+  /// Pumping power at a given system pressure drop: W = P²/R_sys (Eq. 10).
+  double pumping_power(double p_sys) const;
+
+  /// Signed flow from the liquid cell at (row,col) toward `side`'s neighbor.
+  double flow_toward(const Grid2D& grid, int row, int col, Side side) const;
+};
+
+class FlowSolver {
+ public:
+  /// Keeps a reference to `net`; the network must outlive the solver.
+  FlowSolver(const CoolingNetwork& net, const ChannelGeometry& channel,
+             const CoolantProperties& coolant, const FlowOptions& options = {});
+
+  /// Solve the pressure system at the given system pressure drop.
+  /// Throws lcn::RuntimeError when a liquid component carries no port
+  /// (singular system) or the linear solve fails.
+  FlowSolution solve(double p_sys = 1.0) const;
+
+ private:
+  const CoolingNetwork& net_;
+  ChannelGeometry channel_;
+  CoolantProperties coolant_;
+  FlowOptions options_;
+};
+
+/// Convenience wrapper: solve at unit pressure.
+FlowSolution solve_unit_flow(const CoolingNetwork& net,
+                             const ChannelGeometry& channel,
+                             const CoolantProperties& coolant,
+                             const FlowOptions& options = {});
+
+}  // namespace lcn

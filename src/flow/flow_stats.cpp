@@ -1,0 +1,75 @@
+#include "flow/flow_stats.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lcn {
+
+double segment_reynolds(double velocity, const ChannelGeometry& channel,
+                        const CoolantProperties& coolant, double density) {
+  return density * std::abs(velocity) * channel.hydraulic_diameter() /
+         coolant.dynamic_viscosity;
+}
+
+FlowStats compute_flow_stats(const CoolingNetwork& net,
+                             const FlowSolution& solution,
+                             const ChannelGeometry& channel,
+                             const CoolantProperties& coolant,
+                             double pressure_scale) {
+  LCN_REQUIRE(pressure_scale > 0.0, "pressure scale must be positive");
+  FlowStats stats;
+  const double area = channel.cross_section();
+  const Grid2D& grid = net.grid();
+
+  double velocity_sum = 0.0;
+  // Negligible-flow threshold: 10^-6 of the mean per-segment magnitude.
+  double q_scale = 0.0;
+  std::size_t q_count = 0;
+  for (std::size_t i = 0; i < solution.liquid_cells.size(); ++i) {
+    for (double q : {solution.q_east[i], solution.q_south[i]}) {
+      if (q != 0.0) {
+        q_scale += std::abs(q);
+        ++q_count;
+      }
+    }
+  }
+  const double threshold =
+      q_count > 0 ? 1e-6 * q_scale / static_cast<double>(q_count) : 0.0;
+
+  for (std::size_t i = 0; i < solution.liquid_cells.size(); ++i) {
+    double through = 0.0;
+    for (double q : {solution.q_east[i], solution.q_south[i]}) {
+      if (q == 0.0) continue;
+      const double velocity = std::abs(q) * pressure_scale / area;
+      if (std::abs(q) > threshold) {
+        ++stats.active_segments;
+        velocity_sum += velocity;
+        stats.max_velocity = std::max(stats.max_velocity, velocity);
+        stats.max_reynolds = std::max(
+            stats.max_reynolds, segment_reynolds(velocity, channel, coolant));
+      }
+      through += std::abs(q);
+    }
+    // Include inflow from west/north so pass-through cells are not counted
+    // as stagnant.
+    const CellCoord cc = grid.coord(solution.liquid_cells[i]);
+    if (cc.col > 0) {
+      const std::int32_t w = solution.liquid_index[grid.index(cc.row, cc.col - 1)];
+      if (w >= 0) through += std::abs(solution.q_east[static_cast<std::size_t>(w)]);
+    }
+    if (cc.row > 0) {
+      const std::int32_t n = solution.liquid_index[grid.index(cc.row - 1, cc.col)];
+      if (n >= 0) through += std::abs(solution.q_south[static_cast<std::size_t>(n)]);
+    }
+    if (through <= 2.0 * threshold) ++stats.stagnant_cells;
+  }
+
+  stats.mean_velocity = stats.active_segments > 0
+                            ? velocity_sum / stats.active_segments
+                            : 0.0;
+  stats.total_flow = solution.system_flow * pressure_scale;
+  return stats;
+}
+
+}  // namespace lcn

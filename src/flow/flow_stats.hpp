@@ -1,0 +1,42 @@
+// Hydraulic diagnostics for a solved flow field.
+//
+// The model assumes fully developed laminar flow (paper Eq. 1). These
+// statistics let a design flow verify that assumption — Reynolds number
+// under ~2300 in every channel segment — and expose velocities and
+// per-segment flow extremes for reporting.
+#pragma once
+
+#include "flow/flow_solver.hpp"
+
+namespace lcn {
+
+struct FlowStats {
+  double max_velocity = 0.0;       ///< m/s over all channel segments
+  double mean_velocity = 0.0;      ///< mean |v| over segments carrying flow
+  double max_reynolds = 0.0;       ///< peak segment Reynolds number
+  double total_flow = 0.0;         ///< Q_sys, m³/s
+  std::size_t active_segments = 0; ///< segments with non-negligible flow
+  std::size_t stagnant_cells = 0;  ///< liquid cells with ~zero throughflow
+
+  /// Laminar-flow assumption check (transition at Re ≈ 2300).
+  bool laminar(double re_limit = 2300.0) const {
+    return max_reynolds < re_limit;
+  }
+};
+
+/// Compute statistics of a flow field at the solution's reference pressure;
+/// scale velocities/Re linearly for other pressures via `pressure_scale`.
+FlowStats compute_flow_stats(const CoolingNetwork& net,
+                             const FlowSolution& solution,
+                             const ChannelGeometry& channel,
+                             const CoolantProperties& coolant,
+                             double pressure_scale = 1.0);
+
+/// Reynolds number of one segment: Re = ρ·v·D_h/µ = v·D_h/ν. Water density
+/// is taken as 997 kg/m³ (the model itself only needs µ and C_v; density
+/// enters only this diagnostic).
+double segment_reynolds(double velocity, const ChannelGeometry& channel,
+                        const CoolantProperties& coolant,
+                        double density = 997.0);
+
+}  // namespace lcn

@@ -1,0 +1,97 @@
+#include "geom/benchmarks.hpp"
+
+#include "common/assert.hpp"
+
+namespace lcn {
+
+namespace {
+
+constexpr int kGridSize = 101;       // 10.1 mm die, 100 µm basic cells
+constexpr double kPitch = 100e-6;
+
+/// Split the total die power across dies: the bottom die runs hotter (it is
+/// farthest from any heat path except the channel), mirroring the contest's
+/// non-uniform per-die budgets.
+std::vector<double> die_power_split(int dies, double total) {
+  if (dies == 2) return {0.58 * total, 0.42 * total};
+  if (dies == 3) return {0.42 * total, 0.33 * total, 0.25 * total};
+  return std::vector<double>(static_cast<std::size_t>(dies),
+                             total / dies);
+}
+
+}  // namespace
+
+BenchmarkCase make_iccad_case(int id) {
+  LCN_REQUIRE(id >= 1 && id <= 5, "ICCAD case id must be 1..5");
+
+  struct Spec {
+    int dies;
+    double h_c;
+    double power;
+    double delta_t_star;
+    double t_max_star;
+  };
+  // Table 2, rows 1..5.
+  static const Spec kSpecs[5] = {
+      {2, 200e-6, 42.038, 15.0, 358.15},
+      {2, 400e-6, 37.038, 10.0, 358.15},
+      {2, 400e-6, 43.038, 15.0, 358.15},
+      {3, 200e-6, 43.438, 10.0, 358.15},
+      {2, 400e-6, 148.174, 10.0, 338.15},
+  };
+  const Spec& spec = kSpecs[id - 1];
+
+  BenchmarkCase bench;
+  bench.id = id;
+  bench.name = "iccad15-case" + std::to_string(id);
+  bench.problem.grid = Grid2D(kGridSize, kGridSize, kPitch);
+  bench.problem.stack = make_interlayer_stack(spec.dies, spec.h_c);
+  bench.constraints.delta_t_max = spec.delta_t_star;
+  bench.constraints.t_max = spec.t_max_star;
+
+  SyntheticPowerOptions power_opts;
+  if (id == 5) {
+    // The paper notes "high and highly varied die power" and a tight T*_max:
+    // at 148 W even mild *relative* non-uniformity leaves an absolute
+    // residual gradient above ΔT* = 10 K at any flow rate, which makes
+    // Problem 1 infeasible for straight channels and for SA over the
+    // tree family — matching the paper, where case 5 also defeated SA and
+    // needed a manual design. The map stays smooth enough that Problem 2
+    // (Table 4) remains feasible under its pumping budget.
+    power_opts.hotspot_fraction = 0.04;
+    power_opts.hotspot_count = 8;
+    power_opts.background_fraction = 0.55;
+    power_opts.smoothing_passes = 6;
+  }
+  const std::vector<double> split =
+      die_power_split(spec.dies, spec.power);
+  for (int die = 0; die < spec.dies; ++die) {
+    const std::uint64_t seed =
+        0x1ccadULL * 1000 + static_cast<std::uint64_t>(id) * 10 +
+        static_cast<std::uint64_t>(die);
+    bench.problem.source_power.push_back(synthesize_power_map(
+        bench.problem.grid, split[static_cast<std::size_t>(die)], seed,
+        power_opts));
+  }
+
+  if (id == 3) {
+    // Restricted no-channel region (roughly a 2 mm x 2.4 mm block off-center).
+    bench.forbidden = CellRect{38, 52, 58, 75};
+  }
+  if (id == 4) bench.matched_layers = true;
+
+  bench.problem.validate();
+  return bench;
+}
+
+std::vector<BenchmarkCase> all_iccad_cases() {
+  std::vector<BenchmarkCase> cases;
+  for (int id = 1; id <= 5; ++id) cases.push_back(make_iccad_case(id));
+  return cases;
+}
+
+double problem2_pump_budget(const BenchmarkCase& bench) {
+  return 1e-3 * bench.problem.total_power();
+}
+
+}  // namespace lcn

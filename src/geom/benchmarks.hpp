@@ -1,0 +1,47 @@
+// Synthetic reconstruction of the ICCAD 2015 contest benchmark suite
+// (paper Table 2). The original contest files are not distributed, so each
+// case is rebuilt to match every published statistic — die count, channel
+// height h_c, total die power, ΔT* and T*_max, plus the case-specific
+// constraints (case 3: a restricted no-channel region; case 4: matched
+// inlets/outlets across the two channel layers; case 5: high, strongly
+// non-uniform power with a tight T*_max). Power maps are deterministic
+// pseudo-random floorplans (see DESIGN.md §4, substitution 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "thermal/problem.hpp"
+
+namespace lcn {
+
+struct BenchmarkCase {
+  int id = 0;
+  std::string name;
+  CoolingProblem problem;
+  DesignConstraints constraints;
+  /// Restricted no-channel region (empty except case 3).
+  CellRect forbidden;
+  /// Inlets/outlets must match across channel layers (case 4). Designs here
+  /// always replicate one network across layers, satisfying it by
+  /// construction.
+  bool matched_layers = false;
+
+  int dies() const { return problem.stack.source_count(); }
+  double channel_height() const {
+    return problem.stack.layer(problem.stack.channel_layers().front())
+        .thickness;
+  }
+};
+
+/// Build ICCAD-2015-like case 1..5 (Table 2).
+BenchmarkCase make_iccad_case(int id);
+
+/// All five cases.
+std::vector<BenchmarkCase> all_iccad_cases();
+
+/// Problem-2 pumping-power budget: the paper evaluates Table 4 with
+/// W*_pump = 0.1% of the die power.
+double problem2_pump_budget(const BenchmarkCase& bench);
+
+}  // namespace lcn

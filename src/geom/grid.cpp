@@ -1,0 +1,106 @@
+#include "geom/grid.hpp"
+
+#include <algorithm>
+
+namespace lcn {
+
+const char* side_name(Side side) {
+  switch (side) {
+    case Side::kWest: return "W";
+    case Side::kEast: return "E";
+    case Side::kNorth: return "N";
+    case Side::kSouth: return "S";
+  }
+  return "?";
+}
+
+Side opposite(Side side) {
+  switch (side) {
+    case Side::kWest: return Side::kEast;
+    case Side::kEast: return Side::kWest;
+    case Side::kNorth: return Side::kSouth;
+    case Side::kSouth: return Side::kNorth;
+  }
+  return Side::kWest;
+}
+
+Grid2D::Grid2D(int rows, int cols, double pitch)
+    : rows_(rows), cols_(cols), pitch_(pitch) {
+  LCN_REQUIRE(rows > 0 && cols > 0, "grid dimensions must be positive");
+  LCN_REQUIRE(pitch > 0.0, "grid pitch must be positive");
+}
+
+bool Grid2D::on_side(int row, int col, Side side) const {
+  LCN_REQUIRE(in_bounds(row, col), "on_side: cell out of bounds");
+  switch (side) {
+    case Side::kWest: return col == 0;
+    case Side::kEast: return col == cols_ - 1;
+    case Side::kNorth: return row == 0;
+    case Side::kSouth: return row == rows_ - 1;
+  }
+  return false;
+}
+
+D4Transform::D4Transform(int code) : code_(code) {
+  LCN_REQUIRE(code >= 0 && code < kCount, "D4 code must be in [0, 8)");
+}
+
+Grid2D D4Transform::transform_grid(const Grid2D& grid) const {
+  if (code_ % 2 == 1) {
+    return Grid2D(grid.cols(), grid.rows(), grid.pitch());
+  }
+  return grid;
+}
+
+CellCoord D4Transform::apply(const Grid2D& grid, CellCoord coord) const {
+  LCN_REQUIRE(grid.in_bounds(coord.row, coord.col),
+              "D4 apply: cell out of bounds");
+  int rows = grid.rows();
+  int cols = grid.cols();
+  int r = coord.row;
+  int c = coord.col;
+  if (code_ >= 4) c = cols - 1 - c;  // horizontal mirror first
+  const int k = code_ % 4;
+  for (int i = 0; i < k; ++i) {
+    // 90° clockwise: (r, c) in rows x cols -> (c, rows-1-r) in cols x rows.
+    const int nr = c;
+    const int nc = rows - 1 - r;
+    r = nr;
+    c = nc;
+    std::swap(rows, cols);
+  }
+  return {r, c};
+}
+
+Side D4Transform::apply(Side side) const {
+  Side s = side;
+  if (code_ >= 4) {
+    if (s == Side::kWest) s = Side::kEast;
+    else if (s == Side::kEast) s = Side::kWest;
+  }
+  const int k = code_ % 4;
+  for (int i = 0; i < k; ++i) {
+    switch (s) {
+      case Side::kNorth: s = Side::kEast; break;
+      case Side::kEast: s = Side::kSouth; break;
+      case Side::kSouth: s = Side::kWest; break;
+      case Side::kWest: s = Side::kNorth; break;
+    }
+  }
+  return s;
+}
+
+CellRect D4Transform::apply(const Grid2D& grid, const CellRect& rect) const {
+  if (rect.empty()) return rect;
+  const CellCoord a = apply(grid, CellCoord{rect.row0, rect.col0});
+  const CellCoord b = apply(grid, CellCoord{rect.row1, rect.col1});
+  return CellRect{std::min(a.row, b.row), std::min(a.col, b.col),
+                  std::max(a.row, b.row), std::max(a.col, b.col)};
+}
+
+D4Transform D4Transform::inverse() const {
+  if (code_ < 4) return D4Transform((4 - code_) % 4);
+  return D4Transform(code_);  // reflections are involutions
+}
+
+}  // namespace lcn

@@ -1,0 +1,124 @@
+// 2D basic-cell grid of the channel layer (paper §2.1): the die is divided
+// into rows×cols square cells of `pitch` meters; each cell of a channel layer
+// is either solid or liquid, and boundary liquid cells may carry inlet/outlet
+// ports on the chip edge.
+//
+// Also provides the dihedral-group (D4) grid transforms used to realize the
+// paper's eight global flow directions (Fig. 8(a)): a tree-like network is
+// generated in a canonical west-to-east frame and mapped through one of the
+// eight symmetries of the square.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace lcn {
+
+/// Chip-edge side identifiers. Rows grow to the south, columns to the east.
+enum class Side : std::uint8_t { kWest = 0, kEast = 1, kNorth = 2, kSouth = 3 };
+
+constexpr std::array<Side, 4> kAllSides = {Side::kWest, Side::kEast,
+                                           Side::kNorth, Side::kSouth};
+
+const char* side_name(Side side);
+Side opposite(Side side);
+
+/// Integer cell coordinate; row 0 is the north edge, col 0 the west edge.
+struct CellCoord {
+  int row = 0;
+  int col = 0;
+
+  friend bool operator==(const CellCoord&, const CellCoord&) = default;
+};
+
+/// Axis-aligned inclusive cell rectangle [row0,row1] x [col0,col1].
+struct CellRect {
+  int row0 = 0;
+  int col0 = 0;
+  int row1 = -1;
+  int col1 = -1;
+
+  bool empty() const { return row1 < row0 || col1 < col0; }
+  bool contains(int row, int col) const {
+    return row >= row0 && row <= row1 && col >= col0 && col <= col1;
+  }
+  int rows() const { return empty() ? 0 : row1 - row0 + 1; }
+  int cols() const { return empty() ? 0 : col1 - col0 + 1; }
+};
+
+class Grid2D {
+ public:
+  Grid2D() = default;
+  Grid2D(int rows, int cols, double pitch);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  double pitch() const { return pitch_; }
+  std::size_t cell_count() const {
+    return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  }
+
+  bool in_bounds(int row, int col) const {
+    return row >= 0 && row < rows_ && col >= 0 && col < cols_;
+  }
+
+  std::size_t index(int row, int col) const {
+    LCN_ASSERT(in_bounds(row, col), "grid index out of bounds");
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(col);
+  }
+
+  CellCoord coord(std::size_t index) const {
+    LCN_ASSERT(index < cell_count(), "grid linear index out of bounds");
+    return {static_cast<int>(index / static_cast<std::size_t>(cols_)),
+            static_cast<int>(index % static_cast<std::size_t>(cols_))};
+  }
+
+  /// True when the cell touches the given chip edge.
+  bool on_side(int row, int col, Side side) const;
+
+  /// Die dimensions in meters.
+  double width() const { return cols_ * pitch_; }
+  double height() const { return rows_ * pitch_; }
+
+  friend bool operator==(const Grid2D&, const Grid2D&) = default;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  double pitch_ = 0.0;
+};
+
+/// One of the eight symmetries of the square: index 0..3 are rotations by
+/// 90°·k, index 4..7 the same rotations composed with a horizontal mirror.
+class D4Transform {
+ public:
+  explicit D4Transform(int code = 0);
+
+  int code() const { return code_; }
+
+  /// Shape of the transformed grid (rows/cols swap under odd rotations).
+  Grid2D transform_grid(const Grid2D& grid) const;
+
+  /// Image of a cell of `grid` under the transform (valid in
+  /// transform_grid(grid)).
+  CellCoord apply(const Grid2D& grid, CellCoord coord) const;
+
+  /// Image of a side of the chip under the transform.
+  Side apply(Side side) const;
+
+  /// Image of a cell rectangle (corners mapped, then re-normalized).
+  CellRect apply(const Grid2D& grid, const CellRect& rect) const;
+
+  D4Transform inverse() const;
+
+  static constexpr int kCount = 8;
+
+ private:
+  int code_ = 0;
+};
+
+}  // namespace lcn

@@ -1,0 +1,18 @@
+#include "geom/materials.hpp"
+
+namespace lcn {
+
+double fluid_conductance(const ChannelGeometry& geom,
+                         const CoolantProperties& coolant, double length) {
+  LCN_REQUIRE(length > 0.0, "fluid conductance needs positive length");
+  const double dh = geom.hydraulic_diameter();
+  return dh * dh * geom.cross_section() /
+         (32.0 * length * coolant.dynamic_viscosity);
+}
+
+double convective_coefficient(const ChannelGeometry& geom,
+                              const CoolantProperties& coolant) {
+  return coolant.nusselt * coolant.conductivity / geom.hydraulic_diameter();
+}
+
+}  // namespace lcn

@@ -1,0 +1,56 @@
+// Material properties and microchannel geometry/derived quantities.
+//
+// Defaults follow the paper's setup (water coolant, silicon stack,
+// 100 µm channel width, laminar fully developed flow with a constant
+// Nusselt number from Shah & London).
+#pragma once
+
+#include "common/assert.hpp"
+
+namespace lcn {
+
+/// Solid material: thermal conductivity and volumetric heat capacity.
+struct SolidMaterial {
+  double conductivity = 0.0;       ///< W/(m·K)
+  double volumetric_heat = 0.0;    ///< J/(m³·K)
+};
+
+/// Silicon around 350 K operating temperature.
+inline SolidMaterial silicon() { return {130.0, 1.63e6}; }
+/// Silicon dioxide (bonding / BEOL filler, used in stack variants).
+inline SolidMaterial oxide() { return {1.38, 1.62e6}; }
+/// Copper (TSV fill material in the TSV-density ablation).
+inline SolidMaterial copper() { return {400.0, 3.45e6}; }
+
+/// Single-phase coolant (water near 310 K).
+struct CoolantProperties {
+  double dynamic_viscosity = 8.9e-4;  ///< µ, Pa·s
+  double conductivity = 0.6;          ///< k_liquid, W/(m·K)
+  double volumetric_heat = 4.183e6;   ///< C_v, J/(m³·K)
+  double nusselt = 4.86;  ///< Nu, laminar rectangular duct (Shah & London)
+};
+
+/// Geometry of one microchannel segment spanning a basic cell.
+struct ChannelGeometry {
+  double width = 100e-6;   ///< w_c, m — equals the basic-cell pitch
+  double height = 200e-6;  ///< h_c, m — per benchmark (Table 2)
+
+  double cross_section() const { return width * height; }  ///< A_c, m²
+
+  /// Hydraulic diameter of the rectangular duct, D_h = 4A/P = 2wh/(w+h).
+  double hydraulic_diameter() const {
+    LCN_REQUIRE(width > 0.0 && height > 0.0, "channel dims must be positive");
+    return 2.0 * width * height / (width + height);
+  }
+};
+
+/// Laminar fully developed fluid conductance g = D_h² A_c / (32 l µ)
+/// (paper Eq. (1)); `length` is the center-to-center distance.
+double fluid_conductance(const ChannelGeometry& geom,
+                         const CoolantProperties& coolant, double length);
+
+/// Convective film coefficient h_conv = Nu · k / D_h.
+double convective_coefficient(const ChannelGeometry& geom,
+                              const CoolantProperties& coolant);
+
+}  // namespace lcn

@@ -1,0 +1,93 @@
+#include "geom/stack.hpp"
+
+#include "common/assert.hpp"
+
+namespace lcn {
+
+Stack& Stack::add_solid(std::string name, double thickness,
+                        const SolidMaterial& material) {
+  LCN_REQUIRE(thickness > 0.0, "layer thickness must be positive");
+  layers_.push_back({LayerKind::kSolid, thickness, material, std::move(name),
+                     -1, -1});
+  return *this;
+}
+
+Stack& Stack::add_source(std::string name, double thickness,
+                         const SolidMaterial& material) {
+  LCN_REQUIRE(thickness > 0.0, "layer thickness must be positive");
+  layers_.push_back({LayerKind::kSource, thickness, material, std::move(name),
+                     source_count_++, -1});
+  return *this;
+}
+
+Stack& Stack::add_channel(std::string name, double thickness,
+                          const SolidMaterial& material) {
+  LCN_REQUIRE(thickness > 0.0, "layer thickness must be positive");
+  layers_.push_back({LayerKind::kChannel, thickness, material, std::move(name),
+                     -1, channel_count_++});
+  return *this;
+}
+
+std::vector<int> Stack::source_layers() const {
+  std::vector<int> out;
+  for (int i = 0; i < layer_count(); ++i) {
+    if (layers_[static_cast<std::size_t>(i)].kind == LayerKind::kSource) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Stack::channel_layers() const {
+  std::vector<int> out;
+  for (int i = 0; i < layer_count(); ++i) {
+    if (layers_[static_cast<std::size_t>(i)].kind == LayerKind::kChannel) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+double Stack::total_thickness() const {
+  double sum = 0.0;
+  for (const auto& layer : layers_) sum += layer.thickness;
+  return sum;
+}
+
+void Stack::validate() const {
+  LCN_REQUIRE(!layers_.empty(), "stack must have at least one layer");
+  LCN_REQUIRE(source_count_ >= 1, "stack must have at least one source layer");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].kind != LayerKind::kChannel) continue;
+    LCN_REQUIRE(i != 0 && i != layers_.size() - 1,
+                "channel layer cannot be the top or bottom of the stack");
+    LCN_REQUIRE(layers_[i - 1].kind != LayerKind::kChannel &&
+                    layers_[i + 1].kind != LayerKind::kChannel,
+                "two channel layers cannot be adjacent");
+  }
+}
+
+Stack make_interlayer_stack(int dies, double channel_height,
+                            const InterlayerStackOptions& opts) {
+  LCN_REQUIRE(dies >= 1, "stack needs at least one die");
+  LCN_REQUIRE(channel_height > 0.0, "channel height must be positive");
+  Stack stack;
+  for (int die = 0; die < dies; ++die) {
+    const std::string suffix = std::to_string(die);
+    stack.add_source("die" + suffix + ".active", opts.source_thickness,
+                     opts.material);
+    stack.add_solid("die" + suffix + ".bulk", opts.bulk_thickness,
+                    opts.material);
+    if (die + 1 < dies) {
+      if (opts.bonding_thickness > 0.0) {
+        stack.add_solid("bond" + suffix, opts.bonding_thickness,
+                        opts.bonding_material);
+      }
+      stack.add_channel("channel" + suffix, channel_height, opts.material);
+    }
+  }
+  stack.validate();
+  return stack;
+}
+
+}  // namespace lcn

@@ -1,0 +1,77 @@
+// Vertical layer stack of a liquid-cooled 3D IC.
+//
+// Layers are listed bottom-up. A standard interlayer-cooled stack has, per
+// die, an active (source) silicon layer and a bulk silicon layer, with a
+// microchannel layer etched between consecutive dies (paper Fig. 1(a)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/materials.hpp"
+
+namespace lcn {
+
+enum class LayerKind { kSolid, kSource, kChannel };
+
+struct Layer {
+  LayerKind kind = LayerKind::kSolid;
+  double thickness = 0.0;  ///< m
+  SolidMaterial material;  ///< solid material (walls/TSV region for channels)
+  std::string name;
+  int source_index = -1;   ///< dense index among source layers, or -1
+  int channel_index = -1;  ///< dense index among channel layers, or -1
+};
+
+class Stack {
+ public:
+  Stack& add_solid(std::string name, double thickness,
+                   const SolidMaterial& material);
+  Stack& add_source(std::string name, double thickness,
+                    const SolidMaterial& material);
+  /// `thickness` is the channel height h_c; `material` describes the solid
+  /// walls (and TSV cells) sharing the layer.
+  Stack& add_channel(std::string name, double thickness,
+                     const SolidMaterial& material);
+
+  const std::vector<Layer>& layers() const { return layers_; }
+  int layer_count() const { return static_cast<int>(layers_.size()); }
+  const Layer& layer(int i) const { return layers_.at(static_cast<std::size_t>(i)); }
+
+  int source_count() const { return source_count_; }
+  int channel_count() const { return channel_count_; }
+
+  /// Layer indices (bottom-up) of all source / channel layers.
+  std::vector<int> source_layers() const;
+  std::vector<int> channel_layers() const;
+
+  double total_thickness() const;
+
+  /// Throws lcn::ContractError when the stack is not physically meaningful:
+  /// empty, channel at the very top/bottom, or two adjacent channel layers.
+  void validate() const;
+
+ private:
+  std::vector<Layer> layers_;
+  int source_count_ = 0;
+  int channel_count_ = 0;
+};
+
+struct InterlayerStackOptions {
+  double source_thickness = 100e-6;  ///< active silicon per die
+  double bulk_thickness = 200e-6;    ///< backside bulk silicon per die
+  SolidMaterial material = silicon();
+  /// Optional oxide bonding interface under each channel layer (0 = none).
+  /// Bonding oxide is a significant extra thermal resistance in real
+  /// TSV-bonded stacks; exposed for stack-sensitivity studies.
+  double bonding_thickness = 0.0;
+  SolidMaterial bonding_material = oxide();
+};
+
+/// Standard stack: per die (bottom-up) source + bulk silicon, one channel
+/// layer of height `channel_height` between consecutive dies (preceded by a
+/// bonding layer when configured).
+Stack make_interlayer_stack(int dies, double channel_height,
+                            const InterlayerStackOptions& opts = {});
+
+}  // namespace lcn

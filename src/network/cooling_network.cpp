@@ -1,0 +1,152 @@
+#include "network/cooling_network.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace lcn {
+
+CoolingNetwork::CoolingNetwork(const Grid2D& grid, bool alternating_tsvs)
+    : grid_(grid), cells_(grid.cell_count(), CellKind::kSolid) {
+  if (alternating_tsvs) {
+    for (int r = 0; r < grid_.rows(); ++r) {
+      for (int c = 0; c < grid_.cols(); ++c) {
+        if (is_tsv_cell(r, c)) cells_[grid_.index(r, c)] = CellKind::kTsv;
+      }
+    }
+  }
+}
+
+void CoolingNetwork::set_liquid(int row, int col) {
+  LCN_REQUIRE(grid_.in_bounds(row, col), "set_liquid: cell out of bounds");
+  CellKind& cell = cells_[grid_.index(row, col)];
+  LCN_REQUIRE(cell != CellKind::kTsv,
+              "cannot carve a channel through a TSV-reserved cell");
+  cell = CellKind::kLiquid;
+}
+
+void CoolingNetwork::set_solid(int row, int col) {
+  LCN_REQUIRE(grid_.in_bounds(row, col), "set_solid: cell out of bounds");
+  CellKind& cell = cells_[grid_.index(row, col)];
+  if (cell == CellKind::kLiquid) cell = CellKind::kSolid;
+}
+
+void CoolingNetwork::add_port(const Port& port) {
+  LCN_REQUIRE(grid_.in_bounds(port.row, port.col),
+              "port cell out of bounds");
+  LCN_REQUIRE(grid_.on_side(port.row, port.col, port.side),
+              "port must sit on the matching chip edge");
+  LCN_REQUIRE(is_liquid(port.row, port.col),
+              "port must open into a liquid cell");
+  for (const Port& existing : ports_) {
+    LCN_REQUIRE(!(existing.row == port.row && existing.col == port.col &&
+                  existing.side == port.side),
+                "duplicate port on the same cell surface");
+  }
+  ports_.push_back(port);
+}
+
+std::size_t CoolingNetwork::liquid_count() const {
+  return static_cast<std::size_t>(
+      std::count(cells_.begin(), cells_.end(), CellKind::kLiquid));
+}
+
+std::vector<std::size_t> CoolingNetwork::liquid_cells() const {
+  std::vector<std::size_t> out;
+  out.reserve(liquid_count());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] == CellKind::kLiquid) out.push_back(i);
+  }
+  return out;
+}
+
+CoolingNetwork CoolingNetwork::transformed(const D4Transform& t) const {
+  CoolingNetwork out;
+  out.grid_ = t.transform_grid(grid_);
+  out.cells_.assign(out.grid_.cell_count(), CellKind::kSolid);
+  for (int r = 0; r < grid_.rows(); ++r) {
+    for (int c = 0; c < grid_.cols(); ++c) {
+      const CellCoord image = t.apply(grid_, CellCoord{r, c});
+      out.cells_[out.grid_.index(image.row, image.col)] =
+          cells_[grid_.index(r, c)];
+    }
+  }
+  for (const Port& port : ports_) {
+    const CellCoord image = t.apply(grid_, CellCoord{port.row, port.col});
+    out.ports_.push_back({image.row, image.col, t.apply(port.side), port.kind});
+  }
+  return out;
+}
+
+std::string CoolingNetwork::to_text() const {
+  std::ostringstream os;
+  os << "grid " << grid_.rows() << ' ' << grid_.cols() << ' ' << grid_.pitch()
+     << '\n';
+  for (int r = 0; r < grid_.rows(); ++r) {
+    for (int c = 0; c < grid_.cols(); ++c) {
+      switch (kind(r, c)) {
+        case CellKind::kSolid: os << 'S'; break;
+        case CellKind::kTsv: os << 'T'; break;
+        case CellKind::kLiquid: os << 'L'; break;
+      }
+    }
+    os << '\n';
+  }
+  for (const Port& port : ports_) {
+    os << "port " << port.row << ' ' << port.col << ' '
+       << side_name(port.side) << ' '
+       << (port.kind == PortKind::kInlet ? "in" : "out") << '\n';
+  }
+  return os.str();
+}
+
+CoolingNetwork CoolingNetwork::from_text(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  LCN_REQUIRE(static_cast<bool>(std::getline(is, line)),
+              "network text is empty");
+  const auto head = split(std::string(trim(line)), ' ');
+  LCN_REQUIRE(head.size() == 4 && head[0] == "grid",
+              "network text must start with `grid rows cols pitch`");
+  const int rows = std::stoi(head[1]);
+  const int cols = std::stoi(head[2]);
+  const double pitch = std::stod(head[3]);
+
+  CoolingNetwork net(Grid2D(rows, cols, pitch), /*alternating_tsvs=*/false);
+  for (int r = 0; r < rows; ++r) {
+    LCN_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                "network text truncated");
+    const std::string_view row_text = trim(line);
+    LCN_REQUIRE(static_cast<int>(row_text.size()) == cols,
+                "network row width mismatch");
+    for (int c = 0; c < cols; ++c) {
+      switch (row_text[static_cast<std::size_t>(c)]) {
+        case 'S': break;
+        case 'T': net.cells_[net.grid_.index(r, c)] = CellKind::kTsv; break;
+        case 'L': net.set_liquid(r, c); break;
+        default:
+          throw ContractError("network text: unknown cell character");
+      }
+    }
+  }
+  while (std::getline(is, line)) {
+    const std::string_view body = trim(line);
+    if (body.empty()) continue;
+    const auto fields = split(std::string(body), ' ');
+    LCN_REQUIRE(fields.size() == 5 && fields[0] == "port",
+                "network text: malformed port line");
+    Side side = Side::kWest;
+    if (fields[3] == "W") side = Side::kWest;
+    else if (fields[3] == "E") side = Side::kEast;
+    else if (fields[3] == "N") side = Side::kNorth;
+    else if (fields[3] == "S") side = Side::kSouth;
+    else throw ContractError("network text: unknown side");
+    const PortKind kind =
+        fields[4] == "in" ? PortKind::kInlet : PortKind::kOutlet;
+    net.add_port({std::stoi(fields[1]), std::stoi(fields[2]), side, kind});
+  }
+  return net;
+}
+
+}  // namespace lcn

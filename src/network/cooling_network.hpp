@@ -1,0 +1,77 @@
+// Cooling network representation (paper §2.1): a 2D grid of basic cells in a
+// channel layer, each solid, TSV-reserved, or liquid, plus inlet/outlet ports
+// on boundary liquid cells. This is the design variable `N` the optimizer
+// searches over.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/grid.hpp"
+
+namespace lcn {
+
+enum class CellKind : std::uint8_t { kSolid = 0, kTsv = 1, kLiquid = 2 };
+enum class PortKind : std::uint8_t { kInlet = 0, kOutlet = 1 };
+
+/// An opening on the chip edge where coolant enters or leaves a boundary
+/// liquid cell through the given side surface.
+struct Port {
+  int row = 0;
+  int col = 0;
+  Side side = Side::kWest;
+  PortKind kind = PortKind::kInlet;
+
+  friend bool operator==(const Port&, const Port&) = default;
+};
+
+class CoolingNetwork {
+ public:
+  CoolingNetwork() = default;
+  /// All cells start solid. When `alternating_tsvs` is set, cells at odd
+  /// row & odd column are reserved for TSVs (paper design rule 1, Fig. 2).
+  explicit CoolingNetwork(const Grid2D& grid, bool alternating_tsvs = true);
+
+  const Grid2D& grid() const { return grid_; }
+
+  CellKind kind(int row, int col) const {
+    return cells_[grid_.index(row, col)];
+  }
+  bool is_liquid(int row, int col) const {
+    return kind(row, col) == CellKind::kLiquid;
+  }
+
+  /// Carve a liquid cell; throws ContractError on a TSV-reserved cell.
+  void set_liquid(int row, int col);
+  /// Revert a cell to solid (ports on it must be removed by the caller).
+  void set_solid(int row, int col);
+
+  void add_port(const Port& port);
+  const std::vector<Port>& ports() const { return ports_; }
+  void clear_ports() { ports_.clear(); }
+
+  std::size_t liquid_count() const;
+  /// Linear indices (row-major) of all liquid cells, ascending.
+  std::vector<std::size_t> liquid_cells() const;
+
+  /// Network mapped through a D4 symmetry (grid may transpose).
+  CoolingNetwork transformed(const D4Transform& t) const;
+
+  /// Human-readable cell map (rows of S/T/L characters) + port list.
+  std::string to_text() const;
+  static CoolingNetwork from_text(const std::string& text);
+
+  friend bool operator==(const CoolingNetwork&, const CoolingNetwork&) = default;
+
+ private:
+  Grid2D grid_;
+  std::vector<CellKind> cells_;
+  std::vector<Port> ports_;
+};
+
+/// True when the cell is reserved for TSVs under the alternating pattern.
+inline bool is_tsv_cell(int row, int col) {
+  return (row % 2 == 1) && (col % 2 == 1);
+}
+
+}  // namespace lcn

@@ -1,0 +1,167 @@
+#include "network/design_rules.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/strings.hpp"
+
+namespace lcn {
+
+namespace {
+
+/// Position of a boundary cell along its side, for manifold-order checks.
+int side_position(const Grid2D& grid, const Port& port) {
+  (void)grid;
+  switch (port.side) {
+    case Side::kWest:
+    case Side::kEast:
+      return port.row;
+    case Side::kNorth:
+    case Side::kSouth:
+      return port.col;
+  }
+  return 0;
+}
+
+void check_manifolds(const CoolingNetwork& net, DrcResult& out) {
+  for (Side side : kAllSides) {
+    std::vector<Port> on_side;
+    for (const Port& port : net.ports()) {
+      if (port.side == side) on_side.push_back(port);
+    }
+    std::sort(on_side.begin(), on_side.end(),
+              [&](const Port& a, const Port& b) {
+                return side_position(net.grid(), a) <
+                       side_position(net.grid(), b);
+              });
+    // Count alternation blocks of port kinds along the side.
+    int blocks = 0;
+    PortKind last = PortKind::kInlet;
+    bool inlet_seen = false;
+    bool outlet_seen = false;
+    for (const Port& port : on_side) {
+      if (blocks == 0 || port.kind != last) {
+        ++blocks;
+        last = port.kind;
+        bool& seen =
+            port.kind == PortKind::kInlet ? inlet_seen : outlet_seen;
+        if (seen) {
+          out.violations.push_back(strfmt(
+              "side %s: ports of the same kind form more than one "
+              "continuous manifold (interleaved inlets/outlets)",
+              side_name(side)));
+          break;
+        }
+        seen = true;
+      }
+    }
+  }
+}
+
+void check_connectivity(const CoolingNetwork& net, DrcResult& out) {
+  const Grid2D& grid = net.grid();
+  const std::size_t n = grid.cell_count();
+  std::vector<int> component(n, -1);
+  int component_count = 0;
+
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      if (!net.is_liquid(r, c) || component[grid.index(r, c)] >= 0) continue;
+      const int id = component_count++;
+      std::queue<CellCoord> frontier;
+      frontier.push({r, c});
+      component[grid.index(r, c)] = id;
+      while (!frontier.empty()) {
+        const CellCoord cur = frontier.front();
+        frontier.pop();
+        const int dr[] = {1, -1, 0, 0};
+        const int dc[] = {0, 0, 1, -1};
+        for (int k = 0; k < 4; ++k) {
+          const int nr = cur.row + dr[k];
+          const int nc = cur.col + dc[k];
+          if (!grid.in_bounds(nr, nc) || !net.is_liquid(nr, nc)) continue;
+          if (component[grid.index(nr, nc)] >= 0) continue;
+          component[grid.index(nr, nc)] = id;
+          frontier.push({nr, nc});
+        }
+      }
+    }
+  }
+
+  std::vector<bool> has_inlet(static_cast<std::size_t>(component_count), false);
+  std::vector<bool> has_outlet(static_cast<std::size_t>(component_count),
+                               false);
+  for (const Port& port : net.ports()) {
+    const int id = component[grid.index(port.row, port.col)];
+    if (id < 0) continue;  // add_port guarantees liquid, but stay defensive
+    (port.kind == PortKind::kInlet ? has_inlet : has_outlet)
+        [static_cast<std::size_t>(id)] = true;
+  }
+  for (int id = 0; id < component_count; ++id) {
+    if (!has_inlet[static_cast<std::size_t>(id)] ||
+        !has_outlet[static_cast<std::size_t>(id)]) {
+      out.violations.push_back(strfmt(
+          "liquid component %d is not connected to both an inlet and an "
+          "outlet (stagnant coolant / singular flow system)",
+          id));
+    }
+  }
+}
+
+}  // namespace
+
+DrcResult check_design_rules(const CoolingNetwork& net,
+                             const DesignRules& rules) {
+  DrcResult out;
+  const Grid2D& grid = net.grid();
+
+  if (rules.enforce_tsv_keepout) {
+    for (int r = 0; r < grid.rows(); ++r) {
+      for (int c = 0; c < grid.cols(); ++c) {
+        if (is_tsv_cell(r, c) && net.is_liquid(r, c)) {
+          out.violations.push_back(
+              strfmt("liquid cell (%d, %d) violates the TSV keep-out", r, c));
+        }
+      }
+    }
+  }
+
+  if (!rules.forbidden.empty()) {
+    for (int r = rules.forbidden.row0; r <= rules.forbidden.row1; ++r) {
+      for (int c = rules.forbidden.col0; c <= rules.forbidden.col1; ++c) {
+        if (grid.in_bounds(r, c) && net.is_liquid(r, c)) {
+          out.violations.push_back(strfmt(
+              "liquid cell (%d, %d) lies in the restricted region", r, c));
+        }
+      }
+    }
+  }
+
+  bool any_inlet = false;
+  bool any_outlet = false;
+  for (const Port& port : net.ports()) {
+    (port.kind == PortKind::kInlet ? any_inlet : any_outlet) = true;
+  }
+  if (!any_inlet) out.violations.emplace_back("network has no inlet");
+  if (!any_outlet) out.violations.emplace_back("network has no outlet");
+
+  check_manifolds(net, out);
+  if (any_inlet && any_outlet) check_connectivity(net, out);
+  return out;
+}
+
+void require_clean(const CoolingNetwork& net, const DesignRules& rules) {
+  const DrcResult result = check_design_rules(net, rules);
+  if (result.ok()) return;
+  std::string message = "design-rule violations:";
+  const std::size_t shown = std::min<std::size_t>(result.violations.size(), 5);
+  for (std::size_t i = 0; i < shown; ++i) {
+    message += "\n  - " + result.violations[i];
+  }
+  if (result.violations.size() > shown) {
+    message += strfmt("\n  (+%zu more)", result.violations.size() - shown);
+  }
+  throw ContractError(message);
+}
+
+}  // namespace lcn

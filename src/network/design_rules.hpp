@@ -1,0 +1,38 @@
+// Design-rule checking for cooling networks (paper §3):
+//  (1) TSV-reserved cells must stay solid (alternating pattern);
+//  (2) inlets/outlets only on the chip edges;
+//  (3) at most one continuous inlet manifold and one continuous outlet
+//      manifold per side — the openings on a side, read in boundary order,
+//      must form at most one run of inlets and one run of outlets, not
+//      interleaved (this is what rules out the impractical
+//      alternating-direction straight channels);
+// plus feasibility conditions: at least one inlet and one outlet exist and
+// every liquid component reaches both (otherwise the flow system is
+// singular), and no liquid in a case-specific restricted region.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "network/cooling_network.hpp"
+
+namespace lcn {
+
+struct DesignRules {
+  bool enforce_tsv_keepout = true;
+  /// Optional no-channel region (ICCAD case 3); empty rect disables it.
+  CellRect forbidden;
+};
+
+struct DrcResult {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+DrcResult check_design_rules(const CoolingNetwork& net,
+                             const DesignRules& rules = {});
+
+/// Convenience: throws lcn::ContractError listing violations when not clean.
+void require_clean(const CoolingNetwork& net, const DesignRules& rules = {});
+
+}  // namespace lcn

@@ -1,0 +1,55 @@
+#include "network/network_stats.hpp"
+
+namespace lcn {
+
+NetworkStats compute_network_stats(const CoolingNetwork& net,
+                                   double channel_height) {
+  LCN_REQUIRE(channel_height > 0.0, "channel height must be positive");
+  NetworkStats stats;
+  const Grid2D& grid = net.grid();
+  const double pitch = grid.pitch();
+
+  std::vector<char> has_port(grid.cell_count(), 0);
+  for (const Port& port : net.ports()) {
+    has_port[grid.index(port.row, port.col)] = 1;
+    if (port.kind == PortKind::kInlet) ++stats.inlet_count;
+    else ++stats.outlet_count;
+  }
+
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      switch (net.kind(r, c)) {
+        case CellKind::kTsv: ++stats.tsv_cells; continue;
+        case CellKind::kSolid: ++stats.solid_cells; continue;
+        case CellKind::kLiquid: break;
+      }
+      ++stats.liquid_cells;
+      stats.channel_length += pitch;
+      stats.liquid_volume += pitch * pitch * channel_height;
+      stats.top_wall_area += pitch * pitch;
+
+      bool north = grid.in_bounds(r - 1, c) && net.is_liquid(r - 1, c);
+      bool south = grid.in_bounds(r + 1, c) && net.is_liquid(r + 1, c);
+      bool west = grid.in_bounds(r, c - 1) && net.is_liquid(r, c - 1);
+      bool east = grid.in_bounds(r, c + 1) && net.is_liquid(r, c + 1);
+      const int degree = static_cast<int>(north) + static_cast<int>(south) +
+                         static_cast<int>(west) + static_cast<int>(east);
+      stats.side_wall_area += (4 - degree) * pitch * channel_height;
+
+      if (degree >= 3) {
+        ++stats.branch_cells;
+      } else if (degree == 2) {
+        if ((north && south) || (west && east)) ++stats.straight_cells;
+        else ++stats.bend_cells;
+      } else if (!has_port[grid.index(r, c)]) {
+        ++stats.dead_end_cells;
+      }
+    }
+  }
+  stats.liquid_fraction =
+      static_cast<double>(stats.liquid_cells) /
+      static_cast<double>(grid.cell_count());
+  return stats;
+}
+
+}  // namespace lcn

@@ -1,0 +1,36 @@
+// Geometric statistics of a cooling network: channel length, wall areas,
+// bends, branch/merge points, TSV utilization. Used for reporting and for
+// reasoning about the §3 trade-off factors (wall contact area vs fluid
+// resistance).
+#pragma once
+
+#include "network/cooling_network.hpp"
+
+namespace lcn {
+
+struct NetworkStats {
+  std::size_t liquid_cells = 0;
+  std::size_t tsv_cells = 0;
+  std::size_t solid_cells = 0;
+
+  double channel_length = 0.0;   ///< m, total liquid cell span
+  double liquid_volume = 0.0;    ///< m³ (needs channel height)
+  double top_wall_area = 0.0;    ///< m² (one face)
+  double side_wall_area = 0.0;   ///< m², liquid faces against solid/boundary
+
+  std::size_t straight_cells = 0;  ///< exactly two opposite liquid neighbors
+  std::size_t bend_cells = 0;      ///< exactly two orthogonal liquid neighbors
+  std::size_t branch_cells = 0;    ///< three or more liquid neighbors
+  std::size_t dead_end_cells = 0;  ///< at most one liquid neighbor, no port
+
+  std::size_t inlet_count = 0;
+  std::size_t outlet_count = 0;
+
+  /// Fraction of the channel-layer area occupied by liquid.
+  double liquid_fraction = 0.0;
+};
+
+NetworkStats compute_network_stats(const CoolingNetwork& net,
+                                   double channel_height);
+
+}  // namespace lcn

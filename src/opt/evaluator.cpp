@@ -1,0 +1,177 @@
+#include "opt/evaluator.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace lcn {
+
+namespace {
+
+std::variant<Thermal2RM, Thermal4RM> make_sim(const CoolingProblem& problem,
+                                              const CoolingNetwork& network,
+                                              const SimConfig& config) {
+  std::vector<CoolingNetwork> nets(
+      static_cast<std::size_t>(problem.stack.channel_count()), network);
+  if (config.model == ThermalModelKind::k4RM) {
+    return std::variant<Thermal2RM, Thermal4RM>(
+        std::in_place_type<Thermal4RM>, problem, std::move(nets));
+  }
+  return std::variant<Thermal2RM, Thermal4RM>(
+      std::in_place_type<Thermal2RM>, problem, std::move(nets),
+      config.thermal_cell);
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+SystemEvaluator::SystemEvaluator(const CoolingProblem& problem,
+                                 const CoolingNetwork& network,
+                                 const SimConfig& config)
+    : sim_(make_sim(problem, network, config)) {}
+
+ThermalProbe SystemEvaluator::probe(double p_sys) {
+  const auto it = cache_.find(p_sys);
+  if (it != cache_.end()) return it->second;
+  // Warm-start from the previous probe's field: successive pressures in the
+  // searches are close, so the old temperatures are near the new solution.
+  const AssembledThermal system = std::visit(
+      [p_sys](const auto& sim) { return sim.assemble(p_sys); }, sim_);
+  ThermalField field = solve_steady(system, 1e-9, &last_temps_);
+  ++simulations_;
+  const ThermalProbe result{field.delta_t, field.t_max};
+  last_temps_ = std::move(field.temperatures);
+  cache_.emplace(p_sys, result);
+  return result;
+}
+
+double SystemEvaluator::pumping_power(double p_sys) const {
+  return std::visit(
+      [p_sys](const auto& sim) { return sim.pumping_power(p_sys); }, sim_);
+}
+
+double SystemEvaluator::system_resistance() const {
+  const double q = std::visit(
+      [](const auto& sim) { return sim.system_flow(1.0); }, sim_);
+  LCN_CHECK(q > 0.0, "system flow at unit pressure must be positive");
+  return 1.0 / q;
+}
+
+ThermalField SystemEvaluator::field(double p_sys) const {
+  return std::visit(
+      [p_sys](const auto& sim) { return sim.simulate(p_sys); }, sim_);
+}
+
+EvalResult EvalResult::infeasible_result() {
+  EvalResult out;
+  out.score = kInf;
+  out.feasible = false;
+  return out;
+}
+
+EvalResult evaluate_p1(SystemEvaluator& eval, const DesignConstraints& limits,
+                       const PressureSearchOptions& options) {
+  // Step 1 (Algorithm 2 line 1): minimize P_sys under the ΔT constraint.
+  const PressureSearchResult gradient = minimize_pressure_for_target(
+      [&eval](double p) { return eval.delta_t(p); }, limits.delta_t_max,
+      options);
+  if (!gradient.feasible) return EvalResult::infeasible_result();
+
+  double p_sys = gradient.p_sys;
+
+  // Step 2 (lines 3-5): if T*_max is violated, push P_sys up along the
+  // monotone h; then re-check both constraints (raising P_sys may have moved
+  // ΔT past its minimum back above ΔT*).
+  if (eval.t_max(p_sys) > limits.t_max) {
+    const PressureSearchResult peak = minimize_pressure_monotone(
+        [&eval](double p) { return eval.t_max(p); }, limits.t_max, p_sys,
+        options.p_max, options);
+    if (!peak.feasible) return EvalResult::infeasible_result();
+    p_sys = peak.p_sys;
+  }
+
+  const ThermalProbe at_p = eval.probe(p_sys);
+  if (at_p.delta_t > limits.delta_t_max * (1.0 + 1e-9) ||
+      at_p.t_max > limits.t_max * (1.0 + 1e-9)) {
+    return EvalResult::infeasible_result();
+  }
+
+  EvalResult out;
+  out.feasible = true;
+  out.p_sys = p_sys;
+  out.w_pump = eval.pumping_power(p_sys);
+  out.score = out.w_pump;
+  out.at_p = at_p;
+  return out;
+}
+
+EvalResult evaluate_p2(SystemEvaluator& eval, const DesignConstraints& limits,
+                       const PressureSearchOptions& options) {
+  LCN_REQUIRE(limits.w_pump_max > 0.0,
+              "Problem 2 needs a positive pumping-power budget");
+  // W = P²/R  =>  the budget caps the pressure at P* = sqrt(W*·R).
+  const double p_star =
+      std::sqrt(limits.w_pump_max * eval.system_resistance());
+  if (p_star < options.p_min) return EvalResult::infeasible_result();
+
+  // If P* sits on the falling side of f, it is optimal outright (§5);
+  // detect it with one backward probe, otherwise golden-section.
+  double p_opt;
+  const double f_star = eval.delta_t(p_star);
+  const double p_back = p_star * 0.95;
+  if (p_back >= options.p_min && eval.delta_t(p_back) >= f_star) {
+    p_opt = p_star;
+  } else {
+    const double lo = std::max(options.p_min, p_star * 1e-3);
+    p_opt = golden_section_min(
+                [&eval](double p) { return eval.delta_t(p); }, lo, p_star,
+                options)
+                .p_sys;
+  }
+
+  // Enforce T*_max: increasing pressure lowers T_max but must stay under P*.
+  if (eval.t_max(p_opt) > limits.t_max) {
+    const PressureSearchResult peak = minimize_pressure_monotone(
+        [&eval](double p) { return eval.t_max(p); }, limits.t_max, p_opt,
+        p_star, options);
+    if (!peak.feasible) return EvalResult::infeasible_result();
+    p_opt = peak.p_sys;
+  }
+
+  const ThermalProbe at_p = eval.probe(p_opt);
+  if (at_p.t_max > limits.t_max * (1.0 + 1e-9)) {
+    return EvalResult::infeasible_result();
+  }
+
+  EvalResult out;
+  out.feasible = true;
+  out.p_sys = p_opt;
+  out.w_pump = eval.pumping_power(p_opt);
+  out.score = at_p.delta_t;
+  out.at_p = at_p;
+  return out;
+}
+
+EvalResult evaluate_p2_at(SystemEvaluator& eval,
+                          const DesignConstraints& limits, double p_sys) {
+  LCN_REQUIRE(p_sys > 0.0, "fixed evaluation pressure must be positive");
+  const double w = eval.pumping_power(p_sys);
+  if (limits.w_pump_max > 0.0 && w > limits.w_pump_max * (1.0 + 1e-9)) {
+    return EvalResult::infeasible_result();
+  }
+  const ThermalProbe at_p = eval.probe(p_sys);
+  if (at_p.t_max > limits.t_max * (1.0 + 1e-9)) {
+    return EvalResult::infeasible_result();
+  }
+  EvalResult out;
+  out.feasible = true;
+  out.p_sys = p_sys;
+  out.w_pump = w;
+  out.score = at_p.delta_t;
+  out.at_p = at_p;
+  return out;
+}
+
+}  // namespace lcn

@@ -1,0 +1,96 @@
+// Cooling-system evaluation (paper §4.2 Algorithm 2 and §5).
+//
+// SystemEvaluator binds a cooling problem to one candidate network (shared
+// across all channel layers, which also satisfies the case-4 matched
+// inlet/outlet rule by construction), builds the flow field once, and serves
+// cached ΔT/T_max probes at any P_sys. evaluate_p1/evaluate_p2 implement the
+// two-step network evaluations that score a network by its lowest feasible
+// pumping power (Problem 1) or its lowest achievable thermal gradient under
+// a pumping budget (Problem 2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <variant>
+
+#include "network/cooling_network.hpp"
+#include "opt/pressure_search.hpp"
+#include "thermal/model_2rm.hpp"
+#include "thermal/model_4rm.hpp"
+#include "thermal/problem.hpp"
+
+namespace lcn {
+
+enum class ThermalModelKind { k2RM, k4RM };
+
+struct SimConfig {
+  ThermalModelKind model = ThermalModelKind::k2RM;
+  /// Thermal cell size in basic cells (2RM only). 4 => 400 µm cells on the
+  /// benchmark grid, the paper's accuracy/runtime sweet spot.
+  int thermal_cell = 4;
+};
+
+struct ThermalProbe {
+  double delta_t = 0.0;
+  double t_max = 0.0;
+};
+
+class SystemEvaluator {
+ public:
+  /// Throws (flow solve) when the network is hydraulically singular — the
+  /// caller treats construction failure as an infeasible design.
+  SystemEvaluator(const CoolingProblem& problem, const CoolingNetwork& network,
+                  const SimConfig& config);
+
+  /// ΔT and T_max at a pressure (cached; one linear solve per new P_sys).
+  ThermalProbe probe(double p_sys);
+
+  double delta_t(double p_sys) { return probe(p_sys).delta_t; }
+  double t_max(double p_sys) { return probe(p_sys).t_max; }
+
+  double pumping_power(double p_sys) const;
+  double system_resistance() const;
+
+  /// Full-resolution field (for maps); bypasses the cache.
+  ThermalField field(double p_sys) const;
+
+  std::size_t simulations() const { return simulations_; }
+
+ private:
+  std::variant<Thermal2RM, Thermal4RM> sim_;
+  std::map<double, ThermalProbe> cache_;
+  std::vector<double> last_temps_;  ///< warm start for the next probe
+  std::size_t simulations_ = 0;
+};
+
+/// Outcome of a network evaluation: the evaluation score (W'_pump in W for
+/// Problem 1, ΔT in K for Problem 2; +inf when infeasible) plus the operating
+/// point that realizes it.
+struct EvalResult {
+  double score = 0.0;
+  bool feasible = false;
+  double p_sys = 0.0;
+  double w_pump = 0.0;
+  ThermalProbe at_p;  ///< ΔT / T_max at p_sys
+
+  static EvalResult infeasible_result();
+};
+
+/// Problem 1 (Algorithm 2): lowest feasible pumping power under ΔT* and
+/// T*_max.
+EvalResult evaluate_p1(SystemEvaluator& eval, const DesignConstraints& limits,
+                       const PressureSearchOptions& options = {});
+
+/// Problem 2 (§5): lowest ΔT under W*_pump and T*_max. The pumping budget
+/// bounds the pressure at P* = sqrt(W*·R_sys); golden-section finds min f on
+/// (0, P*] unless P* already sits on the falling side.
+EvalResult evaluate_p2(SystemEvaluator& eval, const DesignConstraints& limits,
+                       const PressureSearchOptions& options = {});
+
+/// Problem-2 follower evaluation (§5 change 2): score ΔT with one simulation
+/// at a fixed pressure inherited from the group leader; enforces the same
+/// constraints.
+EvalResult evaluate_p2_at(SystemEvaluator& eval,
+                          const DesignConstraints& limits, double p_sys);
+
+}  // namespace lcn

@@ -1,0 +1,61 @@
+// One-dimensional searches over the system pressure drop (paper §4.1/§4.2,
+// Algorithm 3, and the golden-section variant of §5).
+//
+// For a fixed network N, ΔT = f(P_sys) is either uni-modal (a minimum) or
+// monotone decreasing, and T_max = h(P_sys) is monotone decreasing; both
+// flatten once the coolant everywhere approaches T_in ("turning points",
+// Fig. 5/6). The probes come from numerical simulation, so all searches
+// below are derivative-free and frugal with evaluations.
+#pragma once
+
+#include <functional>
+
+namespace lcn {
+
+/// A probe of f(P_sys) — normally a (cached) thermal simulation.
+using PressureProbe = std::function<double(double)>;
+
+struct PressureSearchOptions {
+  double p_init = 2000.0;      ///< P_init, Pa
+  double r_init = 0.5;         ///< initial step ratio
+  double rel_precision = 5e-3; ///< "small enough" interval width
+  double p_min = 1.0;          ///< Pa, numerical floor
+  double p_max = 5e7;          ///< Pa, give-up ceiling
+  int max_probes = 80;
+  /// Plateau detection (Algorithm 3 line 11): this many consecutive
+  /// right-moves with |1 - f(P0)/f(P1)| below rel_flat ends the search.
+  int flat_moves = 3;
+  double rel_flat = 1e-3;
+};
+
+struct PressureSearchResult {
+  double p_sys = 0.0;
+  double f_value = 0.0;   ///< f at p_sys
+  bool feasible = false;  ///< f(p_sys) <= target
+  int probes = 0;
+};
+
+/// Algorithm 3: the smallest P_sys with f(P_sys) <= target when one exists
+/// (returns feasible=true), otherwise the P_sys minimizing f
+/// (feasible=false — which proves infeasibility for uni-modal f).
+PressureSearchResult minimize_pressure_for_target(const PressureProbe& f,
+                                                  double target,
+                                                  const PressureSearchOptions&
+                                                      options = {});
+
+/// Monotone bisection for decreasing h: the smallest P_sys in [p_lo, p_hi]
+/// with h(P_sys) <= target. feasible=false when even h(p_hi) > target.
+PressureSearchResult minimize_pressure_monotone(const PressureProbe& h,
+                                                double target, double p_lo,
+                                                double p_hi,
+                                                const PressureSearchOptions&
+                                                    options = {});
+
+/// Golden-section minimization of a uni-modal (or monotone) f on
+/// [p_lo, p_hi]; returns the minimizing pressure (feasible always true).
+PressureSearchResult golden_section_min(const PressureProbe& f, double p_lo,
+                                        double p_hi,
+                                        const PressureSearchOptions& options =
+                                            {});
+
+}  // namespace lcn

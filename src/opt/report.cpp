@@ -1,0 +1,101 @@
+#include "opt/report.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "flow/flow_stats.hpp"
+#include "network/design_rules.hpp"
+#include "network/network_stats.hpp"
+#include "opt/evaluator.hpp"
+#include "thermal/temp_map.hpp"
+
+namespace lcn {
+
+std::string design_report(const BenchmarkCase& bench,
+                          const CoolingNetwork& network, double p_sys,
+                          const ReportOptions& options) {
+  LCN_REQUIRE(p_sys > 0.0, "report needs a positive operating pressure");
+  std::ostringstream os;
+  os << "=== cooling-system design report ===\n";
+  os << strfmt("benchmark: %s  (%d dies, %.3f W total)\n",
+               bench.name.c_str(), bench.dies(), bench.problem.total_power());
+  os << strfmt("constraints: dT* = %.2f K, Tmax* = %.2f K%s\n",
+               bench.constraints.delta_t_max, bench.constraints.t_max,
+               bench.constraints.w_pump_max > 0.0
+                   ? strfmt(", W*_pump = %.3f mW",
+                            bench.constraints.w_pump_max * 1e3)
+                         .c_str()
+                   : "");
+
+  // Design rules.
+  DesignRules rules;
+  rules.forbidden = bench.forbidden;
+  const DrcResult drc = check_design_rules(network, rules);
+  os << strfmt("design rules: %s\n",
+               drc.ok() ? "clean"
+                        : strfmt("%zu violations", drc.violations.size())
+                              .c_str());
+
+  // Network geometry.
+  const int channel_layer = bench.problem.stack.channel_layers().front();
+  const double h_c = bench.problem.stack.layer(channel_layer).thickness;
+  const NetworkStats net_stats = compute_network_stats(network, h_c);
+  os << strfmt(
+      "network: %zu liquid cells (%.1f%% of layer), %zu inlets, %zu "
+      "outlets\n",
+      net_stats.liquid_cells, 100.0 * net_stats.liquid_fraction,
+      net_stats.inlet_count, net_stats.outlet_count);
+  os << strfmt(
+      "         %zu straight / %zu bend / %zu branch cells, %zu dead ends\n",
+      net_stats.straight_cells, net_stats.bend_cells, net_stats.branch_cells,
+      net_stats.dead_end_cells);
+  os << strfmt("         wall area: top %.2f mm^2, side %.2f mm^2\n",
+               net_stats.top_wall_area * 1e6, net_stats.side_wall_area * 1e6);
+
+  // Hydraulics.
+  const ChannelGeometry geom = bench.problem.channel_geometry(channel_layer);
+  const FlowSolution flow = solve_unit_flow(network, geom,
+                                            bench.problem.coolant,
+                                            bench.problem.flow_options);
+  const FlowStats flow_stats = compute_flow_stats(
+      network, flow, geom, bench.problem.coolant, p_sys);
+  os << strfmt(
+      "hydraulics @ %.2f kPa: Q = %.3g m^3/s, R_sys = %.3g Pa.s/m^3, "
+      "W_pump = %.3f mW\n",
+      p_sys / 1e3, flow.system_flow * p_sys, flow.system_resistance(),
+      flow.pumping_power(p_sys) * 1e3);
+  os << strfmt("         v_max = %.3g m/s, Re_max = %.0f (%s), %zu stagnant "
+               "cells\n",
+               flow_stats.max_velocity, flow_stats.max_reynolds,
+               flow_stats.laminar() ? "laminar: model valid"
+                                    : "TURBULENT: Eq. 1 invalid",
+               flow_stats.stagnant_cells);
+
+  // Thermal sign-off.
+  const SimConfig sim = options.use_4rm
+                            ? SimConfig{ThermalModelKind::k4RM, 1}
+                            : SimConfig{ThermalModelKind::k2RM,
+                                        options.thermal_cell};
+  SystemEvaluator eval(bench.problem, network, sim);
+  const ThermalField field = eval.field(p_sys);
+  os << strfmt("thermal (%s): Tmax = %.2f K (%s), dT = %.2f K (%s)\n",
+               options.use_4rm ? "4RM" : "2RM", field.t_max,
+               field.t_max <= bench.constraints.t_max ? "ok" : "VIOLATED",
+               field.delta_t,
+               bench.constraints.delta_t_max <= 0.0 ||
+                       field.delta_t <= bench.constraints.delta_t_max
+                   ? "ok"
+                   : "VIOLATED");
+  for (std::size_t layer = 0; layer < field.per_layer_delta.size(); ++layer) {
+    os << strfmt("         source layer %zu: dT_i = %.2f K\n", layer,
+                 field.per_layer_delta[layer]);
+  }
+
+  if (options.include_heatmap) {
+    os << "bottom source layer:\n";
+    os << ascii_heatmap(field, 0, options.heatmap_width);
+  }
+  return os.str();
+}
+
+}  // namespace lcn

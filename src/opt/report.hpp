@@ -1,0 +1,28 @@
+// Full design report for a cooling-system design: constraints, operating
+// point, hydraulic diagnostics (incl. the laminar-flow validity check),
+// network geometry statistics, per-layer thermal metrics and a temperature
+// heatmap — everything a sign-off reviewer would want on one page.
+#pragma once
+
+#include <string>
+
+#include "geom/benchmarks.hpp"
+#include "network/cooling_network.hpp"
+
+namespace lcn {
+
+struct ReportOptions {
+  bool include_heatmap = true;
+  int heatmap_width = 56;
+  /// Model used for the report's simulation (default: accurate 4RM).
+  bool use_4rm = true;
+  int thermal_cell = 4;  ///< 2RM cell size when use_4rm is false
+};
+
+/// Simulate the design at `p_sys` and render the report. Throws
+/// lcn::RuntimeError when the design cannot be simulated (broken network).
+std::string design_report(const BenchmarkCase& bench,
+                          const CoolingNetwork& network, double p_sys,
+                          const ReportOptions& options = {});
+
+}  // namespace lcn

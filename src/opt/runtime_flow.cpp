@@ -1,0 +1,119 @@
+#include "opt/runtime_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "thermal/transient.hpp"
+
+namespace lcn {
+
+RuntimePlan plan_runtime_flow(const CoolingProblem& nominal,
+                              const CoolingNetwork& network,
+                              const DesignConstraints& limits,
+                              const std::vector<PowerPhase>& phases,
+                              const RuntimeOptions& options) {
+  LCN_REQUIRE(!phases.empty(), "need at least one power phase");
+  RuntimePlan plan;
+  plan.feasible = true;
+
+  for (const PowerPhase& phase : phases) {
+    LCN_REQUIRE(phase.layer_scale.size() == nominal.source_power.size(),
+                "one scale factor per source layer required");
+    LCN_REQUIRE(phase.duration > 0.0, "phase duration must be positive");
+
+    CoolingProblem scaled = nominal;
+    for (std::size_t i = 0; i < scaled.source_power.size(); ++i) {
+      LCN_REQUIRE(phase.layer_scale[i] >= 0.0,
+                  "power scale must be non-negative");
+      scaled.source_power[i].scale_to(nominal.source_power[i].total() *
+                                      phase.layer_scale[i]);
+    }
+
+    PhasePlan pp;
+    try {
+      SystemEvaluator eval(scaled, network, options.sim);
+      const EvalResult result = evaluate_p1(eval, limits, options.search);
+      pp.feasible = result.feasible;
+      if (result.feasible) {
+        pp.p_sys = result.p_sys;
+        pp.w_pump = result.w_pump;
+        pp.at_p = result.at_p;
+      }
+    } catch (const RuntimeError&) {
+      pp.feasible = false;
+    }
+    plan.feasible = plan.feasible && pp.feasible;
+    plan.phases.push_back(pp);
+  }
+
+  if (plan.feasible) {
+    double worst_pressure = 0.0;
+    for (const PhasePlan& pp : plan.phases) {
+      worst_pressure = std::max(worst_pressure, pp.p_sys);
+    }
+    // Pumping power scales as P²/R with a power-independent R, so the
+    // worst-case-pressure energy uses the same resistance.
+    double r_sys = 0.0;
+    if (!plan.phases.empty() && plan.phases.front().p_sys > 0.0) {
+      r_sys = plan.phases.front().p_sys * plan.phases.front().p_sys /
+              plan.phases.front().w_pump;
+    }
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      plan.adaptive_energy += plan.phases[i].w_pump * phases[i].duration;
+      plan.worst_case_energy +=
+          (worst_pressure * worst_pressure / r_sys) * phases[i].duration;
+    }
+  }
+  return plan;
+}
+
+TransientCheck verify_plan_transient(const CoolingProblem& nominal,
+                                     const CoolingNetwork& network,
+                                     const DesignConstraints& limits,
+                                     const std::vector<PowerPhase>& phases,
+                                     const RuntimePlan& plan, double dt,
+                                     const RuntimeOptions& options) {
+  LCN_REQUIRE(plan.feasible, "can only verify a feasible plan");
+  LCN_REQUIRE(plan.phases.size() == phases.size(),
+              "plan/phase count mismatch");
+  LCN_REQUIRE(dt > 0.0, "time step must be positive");
+
+  TransientCheck check;
+  std::vector<double> state;  // temperature carried across phases
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    CoolingProblem scaled = nominal;
+    for (std::size_t l = 0; l < scaled.source_power.size(); ++l) {
+      scaled.source_power[l].scale_to(nominal.source_power[l].total() *
+                                      phases[i].layer_scale[l]);
+    }
+    const Thermal2RM sim(
+        scaled,
+        std::vector<CoolingNetwork>(
+            static_cast<std::size_t>(scaled.stack.channel_count()), network),
+        options.sim.thermal_cell);
+    const AssembledThermal system = sim.assemble(plan.phases[i].p_sys);
+    if (state.empty()) {
+      state.assign(system.matrix.rows(), nominal.inlet_temperature);
+    }
+    LCN_CHECK(state.size() == system.matrix.rows(),
+              "node count must be phase-invariant for a fixed network");
+
+    TransientOptions step;
+    step.dt = dt;
+    step.steps = std::max(1, static_cast<int>(std::ceil(
+                                 phases[i].duration / dt)));
+    double phase_peak = 0.0;
+    const auto samples = simulate_transient(system, state, step, &state);
+    for (const TransientSample& s : samples) {
+      phase_peak = std::max(phase_peak, s.t_max);
+      check.peak_delta_t = std::max(check.peak_delta_t, s.delta_t);
+    }
+    check.phase_peaks.push_back(phase_peak);
+    check.peak_t_max = std::max(check.peak_t_max, phase_peak);
+  }
+  check.within_t_max = check.peak_t_max <= limits.t_max * (1.0 + 1e-6);
+  return check;
+}
+
+}  // namespace lcn

@@ -1,0 +1,81 @@
+// Run-time thermal management with adjustable flow rates (the paper's §7
+// future work: "combining cooling networks with run-time thermal management
+// techniques (e.g., DVFS and adjustable flow rates) to handle dynamic die
+// power").
+//
+// Given a fixed cooling network and a sequence of power phases (workload
+// intervals with different power maps), the controller picks the minimum
+// pump pressure per phase that keeps T_max and ΔT within limits at steady
+// state, and reports the pumping energy saved versus running the worst-case
+// pressure continuously.
+#pragma once
+
+#include <vector>
+
+#include "network/cooling_network.hpp"
+#include "opt/evaluator.hpp"
+#include "thermal/problem.hpp"
+
+namespace lcn {
+
+struct PowerPhase {
+  /// Scale factors applied to each source layer's nominal power map.
+  std::vector<double> layer_scale;
+  double duration = 1.0;  ///< s
+};
+
+struct PhasePlan {
+  double p_sys = 0.0;     ///< chosen pump pressure for the phase
+  double w_pump = 0.0;    ///< pumping power at that pressure
+  ThermalProbe at_p;      ///< steady-state metrics under the phase's power
+  bool feasible = false;
+};
+
+struct RuntimePlan {
+  std::vector<PhasePlan> phases;
+  double adaptive_energy = 0.0;   ///< J over the whole schedule
+  double worst_case_energy = 0.0; ///< J running max-phase pressure always
+  bool feasible = false;
+
+  double energy_saving() const {
+    return worst_case_energy > 0.0
+               ? 1.0 - adaptive_energy / worst_case_energy
+               : 0.0;
+  }
+};
+
+struct RuntimeOptions {
+  SimConfig sim{ThermalModelKind::k2RM, 4};
+  PressureSearchOptions search;
+};
+
+/// Plan one pump pressure per phase: the smallest P_sys meeting ΔT* and
+/// T*_max for the phase's scaled power (Algorithm-2-style evaluation per
+/// phase; the flow field is solved once and shared since it does not depend
+/// on power).
+RuntimePlan plan_runtime_flow(const CoolingProblem& nominal,
+                              const CoolingNetwork& network,
+                              const DesignConstraints& limits,
+                              const std::vector<PowerPhase>& phases,
+                              const RuntimeOptions& options = {});
+
+struct TransientCheck {
+  double peak_t_max = 0.0;     ///< max T_max observed over the whole schedule
+  double peak_delta_t = 0.0;   ///< max ΔT observed
+  bool within_t_max = false;   ///< peak_t_max <= limits.t_max (+ margin)
+  std::vector<double> phase_peaks;  ///< per-phase peak T_max
+};
+
+/// Verify a plan dynamically: integrate the RC network through the phase
+/// sequence (power and pump pressure switch at phase boundaries, temperature
+/// state carries over) and report the transient peaks. Steady-state
+/// planning alone can miss overshoot when a hot phase starts from a warm
+/// state; backward-Euler stepping with `dt` checks it.
+TransientCheck verify_plan_transient(const CoolingProblem& nominal,
+                                     const CoolingNetwork& network,
+                                     const DesignConstraints& limits,
+                                     const std::vector<PowerPhase>& phases,
+                                     const RuntimePlan& plan, double dt = 2e-3,
+                                     const RuntimeOptions& options = {});
+
+}  // namespace lcn

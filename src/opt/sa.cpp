@@ -1,0 +1,428 @@
+#include "opt/sa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/env.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "network/design_rules.hpp"
+
+namespace lcn {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int scaled(int value, double scale) {
+  return std::max(1, static_cast<int>(std::lround(value * scale)));
+}
+
+}  // namespace
+
+std::vector<SaStage> default_p1_stages(double scale) {
+  // Paper §6: stages of 60/40/40/30 iterations and 8/4/2/1 rounds, 64
+  // neighbors, 2RM for stages 1-3 and 4RM for stage 4. The default scale
+  // shrinks the schedule for a single-core box; LCN_SA_SCALE restores it.
+  const SimConfig fast{ThermalModelKind::k2RM, 4};
+  const SimConfig accurate{ThermalModelKind::k4RM, 1};
+  std::vector<SaStage> stages;
+  stages.push_back({"s1-fixedP", scaled(60, scale), scaled(3, scale),
+                    scaled(8, scale), 12, fast, true, 1});
+  stages.push_back({"s2-coarse", scaled(24, scale), scaled(2, scale),
+                    scaled(6, scale), 12, fast, false, 1});
+  stages.push_back({"s3-fine", scaled(16, scale), 1, scaled(6, scale), 4,
+                    fast, false, 1});
+  stages.push_back({"s4-signoff", scaled(2, scale), 1, 2, 2, accurate,
+                    false, 1});
+  return stages;
+}
+
+std::vector<SaStage> default_p2_stages(double scale) {
+  // Paper §6: 80/20/20 iterations, 8/2/1 rounds; stage 1 of Problem 1 is
+  // dropped and grouped evaluation makes 4RM affordable earlier (§5).
+  const SimConfig fast{ThermalModelKind::k2RM, 4};
+  const SimConfig accurate{ThermalModelKind::k4RM, 1};
+  std::vector<SaStage> stages;
+  stages.push_back({"g1-coarse", scaled(40, scale), scaled(3, scale),
+                    scaled(8, scale), 12, fast, false, 4});
+  stages.push_back({"g2-fine", scaled(20, scale), scaled(2, scale),
+                    scaled(8, scale), 4, fast, false, 4});
+  stages.push_back({"g3-signoff", scaled(3, scale), 1, 2, 2, accurate, false,
+                    4});
+  return stages;
+}
+
+std::string format_stages(const std::vector<SaStage>& stages) {
+  TextTable table({"stage", "iterations", "rounds", "neighbors", "step",
+                   "model", "cost"});
+  for (const SaStage& s : stages) {
+    table.add_row(
+        {s.name, cell_int(s.iterations), cell_int(s.rounds),
+         cell_int(s.neighbors), cell_int(s.step),
+         s.sim.model == ThermalModelKind::k4RM
+             ? "4RM"
+             : strfmt("2RM m=%d", s.sim.thermal_cell),
+         s.fixed_pressure_cost
+             ? "dT @ fixed P"
+             : (s.group_size > 1 ? strfmt("grouped/%d", s.group_size)
+                                 : "full eval")});
+  }
+  return table.str();
+}
+
+TreeTopologyOptimizer::TreeTopologyOptimizer(const BenchmarkCase& bench,
+                                             DesignObjective objective,
+                                             std::uint64_t seed)
+    : bench_(bench), objective_(objective), constraints_(bench.constraints),
+      seed_(seed) {
+  if (objective_ == DesignObjective::kThermalGradient &&
+      constraints_.w_pump_max <= 0.0) {
+    constraints_.w_pump_max = problem2_pump_budget(bench);
+  }
+  // 4RM probes are ~40x pricier; keep the search frugal but accurate enough
+  // for the metrics reported.
+  search_options_.rel_precision = 1e-2;
+  search_options_.max_probes = 60;
+}
+
+CoolingNetwork TreeTopologyOptimizer::realize(const TreeLayout& layout,
+                                              int direction) const {
+  CoolingNetwork net = make_tree_network(bench_.problem.grid, layout)
+                           .transformed(D4Transform(direction));
+  if (!bench_.forbidden.empty()) {
+    apply_forbidden_region(net, bench_.forbidden);
+  }
+  return net;
+}
+
+EvalResult TreeTopologyOptimizer::evaluate_network(
+    const CoolingNetwork& network, const SimConfig& sim) const {
+  DesignRules rules;
+  rules.forbidden = bench_.forbidden;
+  if (!check_design_rules(network, rules).ok()) {
+    return EvalResult::infeasible_result();
+  }
+  try {
+    SystemEvaluator eval(bench_.problem, network, sim);
+    return objective_ == DesignObjective::kPumpingPower
+               ? evaluate_p1(eval, constraints_, search_options_)
+               : evaluate_p2(eval, constraints_, search_options_);
+  } catch (const RuntimeError&) {
+    return EvalResult::infeasible_result();
+  }
+}
+
+TreeLayout TreeTopologyOptimizer::initial_layout() const {
+  const Grid2D& grid = bench_.problem.grid;
+  int b1 = grid.cols() / 3;
+  int b2 = 2 * grid.cols() / 3;
+  b1 -= b1 % 2;
+  b2 -= b2 % 2;
+  return make_uniform_layout(grid, b1, b2);
+}
+
+TreeLayout TreeTopologyOptimizer::mutate(const TreeLayout& layout, int step,
+                                         Rng& rng) const {
+  TreeLayout out = layout;
+  for (TreeSpec& spec : out.trees) {
+    // Each parameter moves by ±step or stays, with equal probability (§4.4).
+    for (int* param : {&spec.b1, &spec.b2}) {
+      if (rng.next_bool()) continue;
+      *param += rng.next_bool() ? step : -step;
+    }
+    legalize_tree_spec(bench_.problem.grid, spec);
+  }
+  return out;
+}
+
+int TreeTopologyOptimizer::pick_direction(const TreeLayout& probe_layout,
+                                          const SimConfig& sim,
+                                          std::size_t* evaluations) const {
+  double best_score = kInf;
+  int best_dir = 0;
+  for (int dir = 0; dir < D4Transform::kCount; ++dir) {
+    const EvalResult result =
+        evaluate_network(realize(probe_layout, dir), sim);
+    if (evaluations != nullptr) ++*evaluations;
+    LCN_INFO() << bench_.name << ": direction " << dir << " score "
+               << result.score;
+    if (result.score < best_score) {
+      best_score = result.score;
+      best_dir = dir;
+    }
+  }
+  return best_dir;
+}
+
+DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
+  LCN_REQUIRE(!stages.empty(), "need at least one SA stage");
+  WallTimer timer;
+  DesignOutcome outcome;
+  Rng rng(seed_);
+
+  TreeLayout incumbent = initial_layout();
+  const int direction =
+      pick_direction(incumbent, stages.front().sim, &outcome.evaluations);
+  outcome.direction = direction;
+
+  // Score of the incumbent under a stage's *full* metric.
+  auto full_score = [&](const TreeLayout& layout,
+                        const SimConfig& sim) -> EvalResult {
+    ++outcome.evaluations;
+    return evaluate_network(realize(layout, direction), sim);
+  };
+
+  // Seed the incumbent from a handful of uniform layouts spanning the
+  // branch-position range: on hard cases (e.g. case 5) most of the space is
+  // infeasible (+inf) and SA gets no gradient, so starting near a feasible
+  // pocket matters.
+  {
+    const int cols = bench_.problem.grid.cols();
+    double best_score = full_score(incumbent, stages.front().sim).score;
+    for (const auto& [f1, f2] :
+         {std::pair{0.05, 0.12}, {0.15, 0.30}, {0.25, 0.50}, {0.45, 0.75}}) {
+      const TreeLayout seed = make_uniform_layout(
+          bench_.problem.grid, static_cast<int>(cols * f1),
+          static_cast<int>(cols * f2));
+      const double score = full_score(seed, stages.front().sim).score;
+      if (score < best_score) {
+        best_score = score;
+        incumbent = seed;
+      }
+    }
+    // Power-aware seed: per-band branch positions derived from where the
+    // heat actually sits (§3 compensation), mapped into the canonical frame
+    // of the chosen direction.
+    PowerMap combined = bench_.problem.source_power.front();
+    for (std::size_t i = 1; i < bench_.problem.source_power.size(); ++i) {
+      const PowerMap& map = bench_.problem.source_power[i];
+      for (int r = 0; r < combined.grid().rows(); ++r) {
+        for (int c = 0; c < combined.grid().cols(); ++c) {
+          combined.at(r, c) += map.at(r, c);
+        }
+      }
+    }
+    const TreeLayout aware = make_power_aware_layout(
+        bench_.problem.grid,
+        combined.transformed(D4Transform(direction).inverse()));
+    const double aware_score = full_score(aware, stages.front().sim).score;
+    if (aware_score < best_score) {
+      best_score = aware_score;
+      incumbent = aware;
+    }
+  }
+
+  for (std::size_t stage_idx = 0; stage_idx < stages.size(); ++stage_idx) {
+    const SaStage& stage = stages[stage_idx];
+
+    // Stage-1-style cost needs a representative fixed pressure: take the
+    // incumbent's optimal operating point (fallback: the search's P_init).
+    double fixed_pressure = search_options_.p_init;
+    if (stage.fixed_pressure_cost) {
+      const EvalResult ref = full_score(incumbent, stage.sim);
+      if (ref.feasible) fixed_pressure = ref.p_sys;
+    }
+
+    // Group-leader pressure for Problem-2 grouped evaluation.
+    double group_pressure = search_options_.p_init;
+
+    auto cost_of = [&](const TreeLayout& layout,
+                       bool leader) -> EvalResult {
+      const CoolingNetwork net = realize(layout, direction);
+      DesignRules rules;
+      rules.forbidden = bench_.forbidden;
+      if (!check_design_rules(net, rules).ok()) {
+        return EvalResult::infeasible_result();
+      }
+      try {
+        SystemEvaluator eval(bench_.problem, net, stage.sim);
+        if (stage.fixed_pressure_cost) {
+          // ΔT at a fixed pressure: one simulation (§4.4 stage 1).
+          EvalResult out;
+          out.feasible = true;
+          out.p_sys = fixed_pressure;
+          out.w_pump = eval.pumping_power(fixed_pressure);
+          out.at_p = eval.probe(fixed_pressure);
+          out.score = out.at_p.delta_t;
+          return out;
+        }
+        if (objective_ == DesignObjective::kPumpingPower) {
+          return evaluate_p1(eval, constraints_, search_options_);
+        }
+        if (stage.group_size > 1 && !leader) {
+          return evaluate_p2_at(eval, constraints_, group_pressure);
+        }
+        return evaluate_p2(eval, constraints_, search_options_);
+      } catch (const RuntimeError&) {
+        return EvalResult::infeasible_result();
+      }
+    };
+
+    // Multi-round SA; rounds differ only in the random seed (§4.4).
+    struct RoundBest {
+      TreeLayout layout;
+      double score = kInf;
+    };
+    std::vector<RoundBest> round_bests;
+
+    for (int round = 0; round < stage.rounds; ++round) {
+      Rng round_rng = rng.fork();
+      TreeLayout state = incumbent;
+      EvalResult state_eval = cost_of(state, /*leader=*/true);
+      ++outcome.evaluations;
+      if (state_eval.feasible) group_pressure = state_eval.p_sys;
+      double state_score = state_eval.score;
+
+      RoundBest best{state, state_score};
+
+      // Geometric temperature schedule anchored to the initial score.
+      const double anchor =
+          std::isfinite(state_score) ? std::max(std::abs(state_score), 1e-6)
+                                     : 1.0;
+      double temperature = 0.3 * anchor;
+      const double alpha =
+          stage.iterations > 1
+              ? std::pow(1e-2, 1.0 / (stage.iterations - 1))
+              : 1.0;
+
+      for (int iter = 0; iter < stage.iterations; ++iter) {
+        const bool leader =
+            stage.group_size <= 1 || iter % stage.group_size == 0;
+
+        // Generate and score the neighbor pool (evaluated concurrently; the
+        // paper scores 64 neighbors at once on an 80-core server).
+        std::vector<TreeLayout> pool;
+        pool.reserve(static_cast<std::size_t>(stage.neighbors));
+        for (int k = 0; k < stage.neighbors; ++k) {
+          pool.push_back(mutate(state, stage.step, round_rng));
+        }
+        std::vector<EvalResult> scores(pool.size());
+        global_pool().parallel_for(pool.size(), [&](std::size_t k) {
+          scores[k] = cost_of(pool[k], leader);
+        });
+        outcome.evaluations += pool.size();
+
+        std::size_t best_k = 0;
+        for (std::size_t k = 1; k < pool.size(); ++k) {
+          if (scores[k].score < scores[best_k].score) best_k = k;
+        }
+        const double candidate = scores[best_k].score;
+
+        // Metropolis acceptance of the pool's best candidate.
+        bool accept = false;
+        if (candidate < state_score) {
+          accept = true;
+        } else if (std::isfinite(candidate) && temperature > 0.0) {
+          const double delta = candidate - state_score;
+          accept = round_rng.next_double() < std::exp(-delta / temperature);
+        }
+        if (accept) {
+          state = pool[best_k];
+          state_score = candidate;
+          if (leader && scores[best_k].feasible) {
+            group_pressure = scores[best_k].p_sys;
+          }
+          if (state_score < best.score) best = {state, state_score};
+        }
+        temperature *= alpha;
+      }
+      round_bests.push_back(best);
+    }
+
+    // Select the stage output: re-evaluate round bests with the next stage's
+    // (or the sign-off) metric and keep the winner.
+    const SimConfig& next_sim = stage_idx + 1 < stages.size()
+                                    ? stages[stage_idx + 1].sim
+                                    : stage.sim;
+    double best_score = kInf;
+    TreeLayout best_layout = incumbent;
+    for (const RoundBest& rb : round_bests) {
+      const EvalResult re = full_score(rb.layout, next_sim);
+      if (re.score < best_score) {
+        best_score = re.score;
+        best_layout = rb.layout;
+      }
+    }
+    // Keep the incumbent when no round improved on it.
+    const EvalResult incumbent_eval = full_score(incumbent, next_sim);
+    if (incumbent_eval.score <= best_score) {
+      best_score = incumbent_eval.score;
+    } else {
+      incumbent = best_layout;
+    }
+    LCN_INFO() << bench_.name << ": stage " << stage.name
+               << " done, score " << best_score;
+  }
+
+  // Final sign-off with the accurate model.
+  const SimConfig signoff{ThermalModelKind::k4RM, 1};
+  outcome.layout = incumbent;
+  outcome.network = realize(incumbent, direction);
+  outcome.eval = evaluate_network(outcome.network, signoff);
+  ++outcome.evaluations;
+  outcome.feasible = outcome.eval.feasible;
+  outcome.seconds = timer.seconds();
+  return outcome;
+}
+
+BaselineOutcome best_straight_baseline(const BenchmarkCase& bench,
+                                       DesignObjective objective,
+                                       const SimConfig& signoff) {
+  DesignConstraints limits = bench.constraints;
+  if (objective == DesignObjective::kThermalGradient &&
+      limits.w_pump_max <= 0.0) {
+    limits.w_pump_max = problem2_pump_budget(bench);
+  }
+  DesignRules rules;
+  rules.forbidden = bench.forbidden;
+
+  PressureSearchOptions options;
+  options.rel_precision = 1e-2;
+
+  BaselineOutcome best;
+  best.eval = EvalResult::infeasible_result();
+  const CoolingNetwork canonical = make_straight_channels(bench.problem.grid);
+  // Straight channels are invariant under the row mirror, so only the four
+  // rotations are distinct directions. Select with the fast model, then sign
+  // off the winner with the accurate one.
+  const SimConfig fast{ThermalModelKind::k2RM, 4};
+  for (int dir = 0; dir < 4; ++dir) {
+    CoolingNetwork net = canonical.transformed(D4Transform(dir));
+    if (!bench.forbidden.empty()) apply_forbidden_region(net, bench.forbidden);
+    if (!check_design_rules(net, rules).ok()) continue;
+    try {
+      SystemEvaluator eval(bench.problem, net, fast);
+      const EvalResult result =
+          objective == DesignObjective::kPumpingPower
+              ? evaluate_p1(eval, limits, options)
+              : evaluate_p2(eval, limits, options);
+      if (result.score < best.eval.score) {
+        best.eval = result;
+        best.network = net;
+        best.direction = dir;
+        best.feasible = result.feasible;
+      }
+    } catch (const RuntimeError&) {
+      continue;
+    }
+  }
+  if (best.feasible || best.eval.p_sys > 0.0) {
+    try {
+      SystemEvaluator eval(bench.problem, best.network, signoff);
+      best.eval = objective == DesignObjective::kPumpingPower
+                      ? evaluate_p1(eval, limits, options)
+                      : evaluate_p2(eval, limits, options);
+      best.feasible = best.eval.feasible;
+    } catch (const RuntimeError&) {
+      best.feasible = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace lcn

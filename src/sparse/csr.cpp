@@ -1,0 +1,118 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lcn::sparse {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
+                     std::vector<std::size_t> row_ptr,
+                     std::vector<std::size_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  LCN_REQUIRE(row_ptr_.size() == rows_ + 1, "row_ptr size must be rows+1");
+  LCN_REQUIRE(col_idx_.size() == values_.size(),
+              "col_idx and values must have equal length");
+  LCN_REQUIRE(row_ptr_.back() == values_.size(),
+              "row_ptr must terminate at nnz");
+}
+
+void CsrMatrix::multiply(const Vector& x, Vector& y) const {
+  LCN_REQUIRE(x.size() == cols_, "SpMV: x size mismatch");
+  y.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = sum;
+  }
+}
+
+Vector CsrMatrix::multiply(const Vector& x) const {
+  Vector y;
+  multiply(x, y);
+  return y;
+}
+
+double CsrMatrix::at(std::size_t row, std::size_t col) const {
+  LCN_REQUIRE(row < rows_ && col < cols_, "at: index out of range");
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector CsrMatrix::diagonal() const {
+  Vector d(rows_, 0.0);
+  const std::size_t n = std::min(rows_, cols_);
+  for (std::size_t r = 0; r < n; ++r) d[r] = at(r, r);
+  return d;
+}
+
+double CsrMatrix::symmetry_gap() const {
+  LCN_REQUIRE(rows_ == cols_, "symmetry_gap requires a square matrix");
+  double gap = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      gap = std::max(gap, std::abs(values_[k] - at(col_idx_[k], r)));
+    }
+  }
+  return gap;
+}
+
+std::vector<double> CsrMatrix::to_dense() const {
+  std::vector<double> dense(rows_ * cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      dense[r * cols_ + col_idx_[k]] += values_[k];
+    }
+  }
+  return dense;
+}
+
+void TripletList::add(std::size_t row, std::size_t col, double value) {
+  LCN_REQUIRE(row < rows_ && col < cols_, "triplet index out of range");
+  if (value != 0.0) triplets_.push_back({row, col, value});
+}
+
+CsrMatrix TripletList::to_csr() const {
+  std::vector<Triplet> sorted = triplets_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  std::vector<std::size_t> row_ptr(rows_ + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(sorted.size());
+  values.reserve(sorted.size());
+
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < sorted.size() && sorted[j].row == sorted[i].row &&
+           sorted[j].col == sorted[i].col) {
+      sum += sorted[j].value;
+      ++j;
+    }
+    col_idx.push_back(sorted[i].col);
+    values.push_back(sum);
+    ++row_ptr[sorted[i].row + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr[r + 1] += row_ptr[r];
+
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace lcn::sparse

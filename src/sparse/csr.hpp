@@ -1,0 +1,80 @@
+// Compressed-sparse-row matrix plus a COO-style triplet builder.
+//
+// The flow solver assembles an SPD Laplacian over liquid cells; the thermal
+// simulators assemble a nonsymmetric advection-diffusion matrix over thermal
+// nodes. Both go through TripletList::to_csr(), which sorts and sums
+// duplicate entries (so assembly code can freely add partial conductances).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/vector_ops.hpp"
+
+namespace lcn::sparse {
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t rows, std::size_t cols,
+            std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
+            std::vector<double> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// y = A x
+  void multiply(const Vector& x, Vector& y) const;
+  Vector multiply(const Vector& x) const;
+
+  /// Entry lookup (binary search within the row); zero if absent.
+  double at(std::size_t row, std::size_t col) const;
+
+  /// Main diagonal (zero where absent).
+  Vector diagonal() const;
+
+  /// max |A(i,j) - A(j,i)| — used by tests to assert SPD-ness of the flow
+  /// matrix and quantify the asymmetry the advection terms introduce.
+  double symmetry_gap() const;
+
+  /// Dense copy (row-major), for small reference checks only.
+  std::vector<double> to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+class TripletList {
+ public:
+  TripletList(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+  void add(std::size_t row, std::size_t col, double value);
+  void reserve(std::size_t n) { triplets_.reserve(n); }
+  std::size_t size() const { return triplets_.size(); }
+
+  /// Sort, merge duplicates (summing), and build CSR.
+  CsrMatrix to_csr() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace lcn::sparse

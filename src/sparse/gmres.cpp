@@ -1,0 +1,121 @@
+#include "sparse/gmres.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lcn::sparse {
+
+SolveReport gmres_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                        const Preconditioner& m, const GmresOptions& options) {
+  const std::size_t n = a.rows();
+  LCN_REQUIRE(a.cols() == n, "GMRES needs a square matrix");
+  LCN_REQUIRE(b.size() == n, "GMRES rhs size mismatch");
+  LCN_REQUIRE(options.restart >= 1, "GMRES restart must be >= 1");
+  x.resize(n, 0.0);
+
+  SolveReport report;
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    x.assign(n, 0.0);
+    report.converged = true;
+    return report;
+  }
+
+  const std::size_t restart = std::min<std::size_t>(options.restart, n);
+  const std::size_t max_outer =
+      options.max_outer != 0 ? options.max_outer : (10 * n) / restart + 4;
+
+  // Arnoldi basis (restart+1 vectors) and Hessenberg in Givens-reduced form.
+  std::vector<Vector> basis(restart + 1, Vector(n));
+  std::vector<Vector> h(restart + 1, Vector(restart, 0.0));
+  Vector cs(restart, 0.0);
+  Vector sn(restart, 0.0);
+  Vector g(restart + 1, 0.0);
+  Vector z(n);
+  Vector w(n);
+
+  std::size_t total_iters = 0;
+  for (std::size_t outer = 0; outer < max_outer; ++outer) {
+    // r = b - A x
+    a.multiply(x, w);
+    Vector r = b;
+    axpy(-1.0, w, r);
+    const double beta = norm2(r);
+    report.relative_residual = beta / bnorm;
+    if (report.relative_residual < options.rel_tolerance) {
+      report.converged = true;
+      report.iterations = total_iters;
+      return report;
+    }
+
+    basis[0] = r;
+    scale(1.0 / beta, basis[0]);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    std::size_t k = 0;
+    for (; k < restart; ++k) {
+      ++total_iters;
+      // w = A M^{-1} v_k
+      m.apply(basis[k], z);
+      a.multiply(z, w);
+      // Modified Gram-Schmidt.
+      for (std::size_t i = 0; i <= k; ++i) {
+        h[i][k] = dot(w, basis[i]);
+        axpy(-h[i][k], basis[i], w);
+      }
+      h[k + 1][k] = norm2(w);
+      if (h[k + 1][k] > 1e-300) {
+        basis[k + 1] = w;
+        scale(1.0 / h[k + 1][k], basis[k + 1]);
+      }
+      // Apply previous Givens rotations to the new column.
+      for (std::size_t i = 0; i < k; ++i) {
+        const double tmp = cs[i] * h[i][k] + sn[i] * h[i + 1][k];
+        h[i + 1][k] = -sn[i] * h[i][k] + cs[i] * h[i + 1][k];
+        h[i][k] = tmp;
+      }
+      // New rotation annihilating h[k+1][k].
+      const double denom =
+          std::sqrt(h[k][k] * h[k][k] + h[k + 1][k] * h[k + 1][k]);
+      if (denom < 1e-300) {
+        ++k;
+        break;  // lucky breakdown: exact solution in the subspace
+      }
+      cs[k] = h[k][k] / denom;
+      sn[k] = h[k + 1][k] / denom;
+      h[k][k] = denom;
+      h[k + 1][k] = 0.0;
+      g[k + 1] = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+
+      if (std::abs(g[k + 1]) / bnorm < options.rel_tolerance) {
+        ++k;
+        break;
+      }
+    }
+
+    // Back-substitute y from the k x k triangular system, x += M^{-1} V y.
+    Vector y(k, 0.0);
+    for (std::size_t ii = k; ii-- > 0;) {
+      double sum = g[ii];
+      for (std::size_t j = ii + 1; j < k; ++j) sum -= h[ii][j] * y[j];
+      y[ii] = sum / h[ii][ii];
+    }
+    Vector update(n, 0.0);
+    for (std::size_t j = 0; j < k; ++j) axpy(y[j], basis[j], update);
+    m.apply(update, z);
+    axpy(1.0, z, x);
+  }
+
+  a.multiply(x, w);
+  Vector r = b;
+  axpy(-1.0, w, r);
+  report.relative_residual = norm2(r) / bnorm;
+  report.converged = report.relative_residual < options.rel_tolerance;
+  report.iterations = total_iters;
+  return report;
+}
+
+}  // namespace lcn::sparse

@@ -1,0 +1,26 @@
+// Restarted GMRES(m) for general square systems.
+//
+// BiCGSTAB is the workhorse for the thermal systems; GMRES(m) is the robust
+// fallback for strongly advective (high-P_sys) assemblies where BiCGSTAB's
+// short recurrences can stagnate. Right-preconditioned so the residual norm
+// it monitors is the true residual.
+#pragma once
+
+#include "sparse/preconditioner.hpp"
+#include "sparse/solvers.hpp"
+
+namespace lcn::sparse {
+
+struct GmresOptions {
+  double rel_tolerance = 1e-10;
+  std::size_t restart = 40;        ///< Krylov subspace dimension m
+  std::size_t max_outer = 0;       ///< 0 => ceil(10·n / restart) + 4
+};
+
+/// Solve A x = b with restarted, right-preconditioned GMRES.
+/// x carries the initial guess in and the solution out.
+SolveReport gmres_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                        const Preconditioner& m,
+                        const GmresOptions& options = {});
+
+}  // namespace lcn::sparse

@@ -1,0 +1,33 @@
+// Incomplete Cholesky IC(0) preconditioner for SPD systems (the flow
+// pressure Laplacian). Falls back-compatible with the Preconditioner
+// interface used by cg_solve; typically 3-5x fewer CG iterations than
+// Jacobi on the benchmark networks.
+#pragma once
+
+#include "sparse/preconditioner.hpp"
+
+namespace lcn::sparse {
+
+class Ic0Preconditioner final : public Preconditioner {
+ public:
+  /// Factorize L·Lᵀ ≈ A on the lower-triangular pattern of A. Throws
+  /// lcn::RuntimeError when a pivot is not positive (matrix not SPD enough
+  /// for IC(0); callers can fall back to Jacobi).
+  explicit Ic0Preconditioner(const CsrMatrix& a);
+
+  /// z = (L·Lᵀ)⁻¹ r via forward + backward triangular solves.
+  void apply(const Vector& r, Vector& z) const override;
+
+ private:
+  std::size_t n_ = 0;
+  // Lower-triangular factor in CSR (diagonal stored explicitly, last in row).
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+  // Column-major access for the transposed (backward) solve.
+  std::vector<std::size_t> col_ptr_;
+  std::vector<std::size_t> row_idx_;
+  std::vector<double> t_values_;
+};
+
+}  // namespace lcn::sparse

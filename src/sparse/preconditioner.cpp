@@ -1,0 +1,109 @@
+#include "sparse/preconditioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lcn::sparse {
+
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
+  LCN_REQUIRE(a.rows() == a.cols(), "Jacobi needs a square matrix");
+  inv_diag_ = a.diagonal();
+  for (double& d : inv_diag_) d = (d != 0.0) ? 1.0 / d : 1.0;
+}
+
+void JacobiPreconditioner::apply(const Vector& r, Vector& z) const {
+  LCN_REQUIRE(r.size() == inv_diag_.size(), "Jacobi apply: size mismatch");
+  z.resize(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];
+}
+
+Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a)
+    : n_(a.rows()),
+      row_ptr_(a.row_ptr()),
+      col_idx_(a.col_idx()),
+      values_(a.values()),
+      diag_(a.rows(), 0) {
+  LCN_REQUIRE(a.rows() == a.cols(), "ILU(0) needs a square matrix");
+
+  // Locate diagonal entries (every row must have one for ILU0).
+  for (std::size_t r = 0; r < n_; ++r) {
+    bool found = false;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k] == r) {
+        diag_[r] = k;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw RuntimeError("ILU(0): missing diagonal entry in row " +
+                         std::to_string(r));
+    }
+  }
+
+  // IKJ-variant incomplete factorization restricted to the pattern of A.
+  // column position lookup scratch: map col -> value index for current row.
+  std::vector<std::ptrdiff_t> pos(n_, -1);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      pos[col_idx_[k]] = static_cast<std::ptrdiff_t>(k);
+    }
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t j = col_idx_[k];
+      if (j >= i) break;  // only strictly-lower entries eliminate
+      const double piv = values_[diag_[j]];
+      if (std::abs(piv) < 1e-300) {
+        throw RuntimeError("ILU(0): zero pivot at row " + std::to_string(j));
+      }
+      const double lij = values_[k] / piv;
+      values_[k] = lij;
+      // subtract lij * U(j, *) on the existing pattern of row i
+      for (std::size_t kk = diag_[j] + 1; kk < row_ptr_[j + 1]; ++kk) {
+        const std::ptrdiff_t p = pos[col_idx_[kk]];
+        if (p >= 0) values_[static_cast<std::size_t>(p)] -= lij * values_[kk];
+      }
+    }
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      pos[col_idx_[k]] = -1;
+    }
+    if (std::abs(values_[diag_[i]]) < 1e-300) {
+      throw RuntimeError("ILU(0): factorization produced zero pivot at row " +
+                         std::to_string(i));
+    }
+  }
+}
+
+void Ilu0Preconditioner::apply(const Vector& r, Vector& z) const {
+  LCN_REQUIRE(r.size() == n_, "ILU(0) apply: size mismatch");
+  z = r;
+  // Forward solve L z = r (unit diagonal).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = z[i];
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t j = col_idx_[k];
+      if (j >= i) break;
+      sum -= values_[k] * z[j];
+    }
+    z[i] = sum;
+  }
+  // Backward solve U z = z.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t k = diag_[ii] + 1; k < row_ptr_[ii + 1]; ++k) {
+      sum -= values_[k] * z[col_idx_[k]];
+    }
+    z[ii] = sum / values_[diag_[ii]];
+  }
+}
+
+std::unique_ptr<Preconditioner> make_jacobi(const CsrMatrix& a) {
+  return std::make_unique<JacobiPreconditioner>(a);
+}
+
+std::unique_ptr<Preconditioner> make_ilu0(const CsrMatrix& a) {
+  return std::make_unique<Ilu0Preconditioner>(a);
+}
+
+}  // namespace lcn::sparse

@@ -1,0 +1,57 @@
+// Preconditioners for the iterative solvers.
+//
+// JacobiPreconditioner suffices for the well-conditioned flow Laplacian;
+// Ilu0Preconditioner (zero fill-in incomplete LU) is the default for the
+// advective thermal systems, whose asymmetry grows with flow rate.
+#pragma once
+
+#include <memory>
+
+#include "sparse/csr.hpp"
+
+namespace lcn::sparse {
+
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  /// z = M^{-1} r
+  virtual void apply(const Vector& r, Vector& z) const = 0;
+};
+
+/// M = I (no preconditioning).
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void apply(const Vector& r, Vector& z) const override { z = r; }
+};
+
+/// M = diag(A). Rows with a zero diagonal fall back to identity scaling.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix& a);
+  void apply(const Vector& r, Vector& z) const override;
+
+ private:
+  Vector inv_diag_;
+};
+
+/// Zero fill-in incomplete LU factorization on the sparsity pattern of A.
+/// apply() performs the forward/backward triangular solves.
+class Ilu0Preconditioner final : public Preconditioner {
+ public:
+  /// Throws lcn::RuntimeError if a pivot collapses to ~0 (structurally
+  /// singular or badly scaled matrix).
+  explicit Ilu0Preconditioner(const CsrMatrix& a);
+  void apply(const Vector& r, Vector& z) const override;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;     // combined L (unit diag implicit) and U
+  std::vector<std::size_t> diag_;  // index of the diagonal entry per row
+};
+
+std::unique_ptr<Preconditioner> make_jacobi(const CsrMatrix& a);
+std::unique_ptr<Preconditioner> make_ilu0(const CsrMatrix& a);
+
+}  // namespace lcn::sparse

@@ -1,0 +1,232 @@
+#include "sparse/solvers.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "sparse/gmres.hpp"
+#include "sparse/ic0.hpp"
+
+namespace lcn::sparse {
+
+namespace {
+std::size_t effective_max_iters(const SolveOptions& opts, std::size_t n) {
+  return opts.max_iterations != 0 ? opts.max_iterations : 10 * n + 100;
+}
+
+std::size_t retry_max_iters(std::size_t n, const SolveOptions& opts) {
+  return 4 * effective_max_iters(opts, n);
+}
+}  // namespace
+
+SolveReport cg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& m, const SolveOptions& opts) {
+  const std::size_t n = a.rows();
+  LCN_REQUIRE(a.cols() == n, "CG needs a square matrix");
+  LCN_REQUIRE(b.size() == n, "CG rhs size mismatch");
+  x.resize(n, 0.0);
+
+  const double bnorm = norm2(b);
+  SolveReport report;
+  if (bnorm == 0.0) {
+    x.assign(n, 0.0);
+    report.converged = true;
+    return report;
+  }
+
+  Vector r = b;
+  Vector ax = a.multiply(x);
+  axpy(-1.0, ax, r);
+  Vector z(n);
+  m.apply(r, z);
+  Vector p = z;
+  Vector ap(n);
+  double rz = dot(r, z);
+
+  const std::size_t max_iters = effective_max_iters(opts, n);
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) {
+      // Not SPD (or numerically degenerate) — bail out with best effort.
+      report.iterations = it;
+      report.relative_residual = norm2(r) / bnorm;
+      return report;
+    }
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+
+    const double rel = norm2(r) / bnorm;
+    if (rel < opts.rel_tolerance) {
+      report.converged = true;
+      report.iterations = it + 1;
+      report.relative_residual = rel;
+      return report;
+    }
+
+    m.apply(r, z);
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    xpby(z, beta, p);
+  }
+
+  report.iterations = max_iters;
+  report.relative_residual = norm2(r) / bnorm;
+  return report;
+}
+
+SolveReport bicgstab_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                           const Preconditioner& m, const SolveOptions& opts) {
+  const std::size_t n = a.rows();
+  LCN_REQUIRE(a.cols() == n, "BiCGSTAB needs a square matrix");
+  LCN_REQUIRE(b.size() == n, "BiCGSTAB rhs size mismatch");
+  x.resize(n, 0.0);
+
+  const double bnorm = norm2(b);
+  SolveReport report;
+  if (bnorm == 0.0) {
+    x.assign(n, 0.0);
+    report.converged = true;
+    return report;
+  }
+
+  Vector r = b;
+  Vector ax = a.multiply(x);
+  axpy(-1.0, ax, r);
+  Vector r0 = r;
+  Vector p(n, 0.0);
+  Vector v(n, 0.0);
+  Vector phat(n);
+  Vector shat(n);
+  Vector s(n);
+  Vector t(n);
+
+  double rho = 1.0;
+  double alpha = 1.0;
+  double omega = 1.0;
+
+  const std::size_t max_iters = effective_max_iters(opts, n);
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    const double rho_next = dot(r0, r);
+    if (std::abs(rho_next) < 1e-300) break;  // breakdown
+    if (it == 0) {
+      p = r;
+    } else {
+      const double beta = (rho_next / rho) * (alpha / omega);
+      // p = r + beta * (p - omega * v)
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = r[i] + beta * (p[i] - omega * v[i]);
+      }
+    }
+    rho = rho_next;
+
+    m.apply(p, phat);
+    a.multiply(phat, v);
+    const double r0v = dot(r0, v);
+    if (std::abs(r0v) < 1e-300) break;
+    alpha = rho / r0v;
+
+    s = r;
+    axpy(-alpha, v, s);
+    if (norm2(s) / bnorm < opts.rel_tolerance) {
+      axpy(alpha, phat, x);
+      report.converged = true;
+      report.iterations = it + 1;
+      report.relative_residual = norm2(s) / bnorm;
+      return report;
+    }
+
+    m.apply(s, shat);
+    a.multiply(shat, t);
+    const double tt = dot(t, t);
+    if (tt < 1e-300) break;
+    omega = dot(t, s) / tt;
+
+    axpy(alpha, phat, x);
+    axpy(omega, shat, x);
+    r = s;
+    axpy(-omega, t, r);
+
+    const double rel = norm2(r) / bnorm;
+    if (rel < opts.rel_tolerance) {
+      report.converged = true;
+      report.iterations = it + 1;
+      report.relative_residual = rel;
+      return report;
+    }
+    if (std::abs(omega) < 1e-300) break;
+  }
+
+  Vector final_ax = a.multiply(x);
+  Vector final_r = b;
+  axpy(-1.0, final_ax, final_r);
+  report.iterations = max_iters;
+  report.relative_residual = norm2(final_r) / bnorm;
+  report.converged = report.relative_residual < opts.rel_tolerance;
+  return report;
+}
+
+void solve_spd_or_throw(const CsrMatrix& a, const Vector& b, Vector& x,
+                        const std::string& context, const SolveOptions& opts) {
+  // IC(0) when the matrix admits it, Jacobi otherwise.
+  SolveReport report;
+  try {
+    const Ic0Preconditioner ic0(a);
+    report = cg_solve(a, b, x, ic0, opts);
+  } catch (const RuntimeError&) {
+    report.converged = false;
+  }
+  if (!report.converged) {
+    x.assign(a.rows(), 0.0);
+    const JacobiPreconditioner jacobi(a);
+    report = cg_solve(a, b, x, jacobi, opts);
+  }
+  if (!report.converged) {
+    throw RuntimeError(context + ": CG failed to converge (rel residual " +
+                       std::to_string(report.relative_residual) + " after " +
+                       std::to_string(report.iterations) + " iterations)");
+  }
+  LCN_DEBUG() << context << ": CG converged in " << report.iterations
+              << " iters, rel residual " << report.relative_residual;
+}
+
+void solve_general_or_throw(const CsrMatrix& a, const Vector& b, Vector& x,
+                            const std::string& context,
+                            const SolveOptions& opts) {
+  const Ilu0Preconditioner ilu(a);
+  SolveReport report = bicgstab_solve(a, b, x, ilu, opts);
+  if (!report.converged) {
+    // One retry from scratch with a fresh zero guess and more iterations —
+    // BiCGSTAB can stagnate from an unlucky shadow residual.
+    x.assign(a.rows(), 0.0);
+    SolveOptions retry = opts;
+    retry.max_iterations = retry_max_iters(a.rows(), opts);
+    report = bicgstab_solve(a, b, x, ilu, retry);
+  }
+  if (!report.converged) {
+    // Robust fallback for strongly advective systems: restarted GMRES with
+    // the same ILU(0) preconditioner.
+    x.assign(a.rows(), 0.0);
+    GmresOptions gmres;
+    gmres.rel_tolerance = opts.rel_tolerance;
+    const SolveReport gmres_report = gmres_solve(a, b, x, ilu, gmres);
+    if (gmres_report.converged) {
+      LCN_DEBUG() << context << ": GMRES fallback converged in "
+                  << gmres_report.iterations << " iters";
+      return;
+    }
+    report = gmres_report;
+  }
+  if (!report.converged) {
+    throw RuntimeError(context +
+                       ": BiCGSTAB and GMRES failed to converge (rel residual " +
+                       std::to_string(report.relative_residual) + " after " +
+                       std::to_string(report.iterations) + " iterations)");
+  }
+  LCN_DEBUG() << context << ": BiCGSTAB converged in " << report.iterations
+              << " iters, rel residual " << report.relative_residual;
+}
+
+}  // namespace lcn::sparse

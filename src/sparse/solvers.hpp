@@ -1,0 +1,41 @@
+// Iterative Krylov solvers: preconditioned CG for the SPD flow system and
+// preconditioned BiCGSTAB for the nonsymmetric thermal system.
+#pragma once
+
+#include <string>
+
+#include "sparse/csr.hpp"
+#include "sparse/preconditioner.hpp"
+
+namespace lcn::sparse {
+
+struct SolveOptions {
+  double rel_tolerance = 1e-10;  ///< on ||r|| / ||b||
+  std::size_t max_iterations = 0;  ///< 0 => 10 * n + 100
+};
+
+struct SolveReport {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+};
+
+/// Preconditioned conjugate gradient. A must be symmetric positive definite.
+/// x carries the initial guess in and the solution out.
+SolveReport cg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& m, const SolveOptions& opts = {});
+
+/// Preconditioned BiCGSTAB for general square systems.
+SolveReport bicgstab_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                           const Preconditioner& m,
+                           const SolveOptions& opts = {});
+
+/// Convenience: solve and throw lcn::RuntimeError(context) on failure.
+void solve_spd_or_throw(const CsrMatrix& a, const Vector& b, Vector& x,
+                        const std::string& context,
+                        const SolveOptions& opts = {});
+void solve_general_or_throw(const CsrMatrix& a, const Vector& b, Vector& x,
+                            const std::string& context,
+                            const SolveOptions& opts = {});
+
+}  // namespace lcn::sparse

@@ -1,0 +1,66 @@
+#include "thermal/field.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "sparse/solvers.hpp"
+
+namespace lcn {
+
+ThermalField make_field(const AssembledThermal& system,
+                        std::vector<double> temperatures) {
+  LCN_REQUIRE(temperatures.size() == system.matrix.rows(),
+              "temperature vector size mismatch");
+  ThermalField field;
+  field.temperatures = std::move(temperatures);
+  field.map_rows = system.map_rows;
+  field.map_cols = system.map_cols;
+
+  field.t_max = 0.0;
+  field.delta_t = 0.0;
+  for (const auto& nodes : system.source_nodes) {
+    std::vector<double> map;
+    map.reserve(nodes.size());
+    double lo = 1e300;
+    double hi = -1e300;
+    for (std::size_t node : nodes) {
+      const double t = field.temperatures[node];
+      map.push_back(t);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    field.per_layer_delta.push_back(hi - lo);
+    field.delta_t = std::max(field.delta_t, hi - lo);
+    field.t_max = std::max(field.t_max, hi);
+    field.source_maps.push_back(std::move(map));
+  }
+  return field;
+}
+
+double advected_heat(const AssembledThermal& system,
+                     const std::vector<double>& temperatures) {
+  double sum = 0.0;
+  for (const auto& [node, flow] : system.outlet_terms) {
+    sum += system.volumetric_heat * flow *
+           (temperatures[node] - system.inlet_temperature);
+  }
+  return sum;
+}
+
+ThermalField solve_steady(const AssembledThermal& system, double rel_tolerance,
+                          const std::vector<double>* initial_guess) {
+  std::vector<double> temps;
+  if (initial_guess != nullptr &&
+      initial_guess->size() == system.matrix.rows()) {
+    temps = *initial_guess;
+  } else {
+    temps.assign(system.matrix.rows(), system.inlet_temperature);
+  }
+  sparse::SolveOptions opts;
+  opts.rel_tolerance = rel_tolerance;
+  sparse::solve_general_or_throw(system.matrix, system.rhs, temps,
+                                 "steady thermal solve", opts);
+  return make_field(system, std::move(temps));
+}
+
+}  // namespace lcn

@@ -1,0 +1,57 @@
+#include "thermal/image.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace lcn {
+
+namespace {
+
+std::string render_pgm(const std::vector<double>& values, int rows, int cols,
+                       int upscale) {
+  LCN_REQUIRE(upscale >= 1, "upscale must be >= 1");
+  double lo = 1e300;
+  double hi = -1e300;
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = std::max(hi - lo, 1e-300);
+
+  std::ostringstream os;
+  os << "P5\n" << cols * upscale << ' ' << rows * upscale << "\n255\n";
+  for (int r = 0; r < rows; ++r) {
+    std::string row_pixels;
+    row_pixels.reserve(static_cast<std::size_t>(cols) *
+                       static_cast<std::size_t>(upscale));
+    for (int c = 0; c < cols; ++c) {
+      const double v = values[static_cast<std::size_t>(r) * cols + c];
+      const int level =
+          std::clamp(static_cast<int>((v - lo) / span * 255.0), 0, 255);
+      row_pixels.append(static_cast<std::size_t>(upscale),
+                        static_cast<char>(level));
+    }
+    for (int k = 0; k < upscale; ++k) os << row_pixels;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string temperature_pgm(const ThermalField& field, int source_layer,
+                            int upscale) {
+  LCN_REQUIRE(source_layer >= 0 &&
+                  source_layer < static_cast<int>(field.source_maps.size()),
+              "source layer out of range");
+  return render_pgm(field.source_maps[static_cast<std::size_t>(source_layer)],
+                    field.map_rows, field.map_cols, upscale);
+}
+
+std::string power_pgm(const PowerMap& map, int upscale) {
+  return render_pgm(map.cells(), map.grid().rows(), map.grid().cols(),
+                    upscale);
+}
+
+}  // namespace lcn

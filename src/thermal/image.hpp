@@ -1,0 +1,20 @@
+// Binary PGM (P5) image output for temperature maps and power maps —
+// viewable in any image tool, no dependencies.
+#pragma once
+
+#include <string>
+
+#include "geom/power_map.hpp"
+#include "thermal/field.hpp"
+
+namespace lcn {
+
+/// Render one source-layer temperature map as an 8-bit grayscale PGM
+/// (white = hottest). `upscale` repeats pixels for visibility.
+std::string temperature_pgm(const ThermalField& field, int source_layer,
+                            int upscale = 4);
+
+/// Render a power map as PGM (white = max density).
+std::string power_pgm(const PowerMap& map, int upscale = 4);
+
+}  // namespace lcn

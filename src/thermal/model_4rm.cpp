@@ -1,0 +1,247 @@
+#include "thermal/model_4rm.hpp"
+
+#include "common/assert.hpp"
+
+namespace lcn {
+
+namespace {
+
+/// Series combination g1 || g2 = g1·g2/(g1+g2) (paper Eq. 5/7 notation).
+double series(double g1, double g2) {
+  LCN_ASSERT(g1 >= 0.0 && g2 >= 0.0, "conductances must be non-negative");
+  if (g1 <= 0.0 || g2 <= 0.0) return 0.0;
+  return g1 * g2 / (g1 + g2);
+}
+
+}  // namespace
+
+Thermal4RM::Thermal4RM(CoolingProblem problem,
+                       std::vector<CoolingNetwork> networks)
+    : problem_(std::move(problem)), networks_(std::move(networks)) {
+  problem_.validate();
+  LCN_REQUIRE(static_cast<int>(networks_.size()) ==
+                  problem_.stack.channel_count(),
+              "one cooling network per channel layer required");
+  for (const CoolingNetwork& net : networks_) {
+    LCN_REQUIRE(net.grid() == problem_.grid,
+                "network grid must match the problem grid");
+  }
+  for (int layer : problem_.stack.channel_layers()) {
+    const int ch = problem_.stack.layer(layer).channel_index;
+    const FlowSolver solver(networks_[static_cast<std::size_t>(ch)],
+                            problem_.channel_geometry(layer),
+                            problem_.coolant, problem_.flow_options);
+    flows_.push_back(solver.solve(1.0));
+  }
+}
+
+std::size_t Thermal4RM::node_count() const {
+  return static_cast<std::size_t>(problem_.stack.layer_count()) *
+         problem_.grid.cell_count();
+}
+
+std::size_t Thermal4RM::node(int layer, int row, int col) const {
+  LCN_REQUIRE(layer >= 0 && layer < problem_.stack.layer_count(),
+              "layer out of range");
+  return static_cast<std::size_t>(layer) * problem_.grid.cell_count() +
+         problem_.grid.index(row, col);
+}
+
+double Thermal4RM::system_flow(double p_sys) const {
+  double q = 0.0;
+  for (const FlowSolution& flow : flows_) q += flow.system_flow * p_sys;
+  return q;
+}
+
+double Thermal4RM::pumping_power(double p_sys) const {
+  return p_sys * system_flow(p_sys);
+}
+
+AssembledThermal Thermal4RM::assemble(double p_sys) const {
+  LCN_REQUIRE(p_sys > 0.0, "P_sys must be positive");
+  const Grid2D& grid = problem_.grid;
+  const Stack& stack = problem_.stack;
+  const std::size_t ncells = grid.cell_count();
+  const int layer_count = stack.layer_count();
+  const std::size_t n = node_count();
+  const double pitch = grid.pitch();
+  const double cell_area = pitch * pitch;
+
+  sparse::TripletList triplets(n, n);
+  AssembledThermal out;
+  out.rhs.assign(n, 0.0);
+  out.capacitance.assign(n, 0.0);
+  out.map_rows = grid.rows();
+  out.map_cols = grid.cols();
+  out.volumetric_heat = problem_.coolant.volumetric_heat;
+  out.inlet_temperature = problem_.inlet_temperature;
+
+  auto add_pair = [&](std::size_t i, std::size_t j, double g) {
+    if (g <= 0.0) return;
+    triplets.add(i, i, g);
+    triplets.add(j, j, g);
+    triplets.add(i, j, -g);
+    triplets.add(j, i, -g);
+  };
+
+  for (int l = 0; l < layer_count; ++l) {
+    const Layer& layer = stack.layer(l);
+    const bool is_channel = layer.kind == LayerKind::kChannel;
+    const CoolingNetwork* net =
+        is_channel ? &networks_[static_cast<std::size_t>(layer.channel_index)]
+                   : nullptr;
+    const FlowSolution* flow =
+        is_channel ? &flows_[static_cast<std::size_t>(layer.channel_index)]
+                   : nullptr;
+    const ChannelGeometry geom =
+        is_channel ? problem_.channel_geometry(l) : ChannelGeometry{};
+    const double h_conv =
+        is_channel ? convective_coefficient(geom, problem_.coolant) : 0.0;
+    const double k = layer.material.conductivity;
+    const double t = layer.thickness;
+    const double side_area = pitch * t;  // face between in-plane neighbors
+
+    for (int r = 0; r < grid.rows(); ++r) {
+      for (int c = 0; c < grid.cols(); ++c) {
+        const std::size_t i = node(l, r, c);
+        const bool i_liquid = is_channel && net->is_liquid(r, c);
+
+        // Heat capacity.
+        out.capacitance[i] =
+            cell_area * t *
+            (i_liquid ? problem_.coolant.volumetric_heat
+                      : layer.material.volumetric_heat);
+
+        // In-plane coupling with east and south neighbors (each pair once).
+        const int nbr[2][2] = {{r, c + 1}, {r + 1, c}};
+        for (const auto& nb : nbr) {
+          if (!grid.in_bounds(nb[0], nb[1])) continue;
+          const std::size_t j = node(l, nb[0], nb[1]);
+          const bool j_liquid = is_channel && net->is_liquid(nb[0], nb[1]);
+          if (!i_liquid && !j_liquid) {
+            // solid–solid conduction (Eq. 4): g = k·A/l.
+            add_pair(i, j, k * side_area / pitch);
+          } else if (i_liquid != j_liquid) {
+            // solid–liquid through a side wall (Eq. 5): film conductance in
+            // series with half-cell conduction in the solid.
+            const double g_conv = h_conv * side_area;
+            const double g_cond = k * side_area / (pitch / 2.0);
+            add_pair(i, j, series(g_conv, g_cond));
+          }
+          // liquid–liquid: advection only, handled below.
+        }
+
+        // Vertical coupling with the layer above.
+        if (l + 1 < layer_count) {
+          const Layer& above = stack.layer(l + 1);
+          const bool above_channel = above.kind == LayerKind::kChannel;
+          const CoolingNetwork* net_above =
+              above_channel
+                  ? &networks_[static_cast<std::size_t>(above.channel_index)]
+                  : nullptr;
+          const std::size_t j = node(l + 1, r, c);
+          const bool j_liquid = above_channel && net_above->is_liquid(r, c);
+          LCN_ASSERT(!(i_liquid && j_liquid),
+                     "adjacent channel layers are rejected by the stack");
+
+          const double g_i =
+              i_liquid ? h_conv * cell_area
+                       : k * cell_area / (t / 2.0);
+          double g_j;
+          if (j_liquid) {
+            const ChannelGeometry geom_above = problem_.channel_geometry(l + 1);
+            g_j = convective_coefficient(geom_above, problem_.coolant) *
+                  cell_area;
+          } else {
+            g_j = above.material.conductivity * cell_area /
+                  (above.thickness / 2.0);
+          }
+          add_pair(i, j, series(g_i, g_j));
+        }
+      }
+    }
+
+    // Liquid–liquid advection (Eq. 6, central differencing) and ports.
+    if (is_channel) {
+      const double cv = problem_.coolant.volumetric_heat;
+      for (std::size_t li = 0; li < flow->liquid_cells.size(); ++li) {
+        const CellCoord cc = grid.coord(flow->liquid_cells[li]);
+        const std::size_t i = node(l, cc.row, cc.col);
+        // East/south directed flows cover each liquid pair exactly once.
+        const double q_pair[2] = {flow->q_east[li] * p_sys,
+                                  flow->q_south[li] * p_sys};
+        const int nbr[2][2] = {{cc.row, cc.col + 1}, {cc.row + 1, cc.col}};
+        for (int d = 0; d < 2; ++d) {
+          const double q = q_pair[d];  // signed flow i -> j
+          if (q == 0.0) continue;
+          const std::size_t j = node(l, nbr[d][0], nbr[d][1]);
+          // Energy balance row i: -C_v·F_ji·(T_i+T_j)/2 with F_ji = -q.
+          triplets.add(i, i, cv * q / 2.0);
+          triplets.add(i, j, cv * q / 2.0);
+          // Row j: F_ij = +q.
+          triplets.add(j, j, -cv * q / 2.0);
+          triplets.add(j, i, -cv * q / 2.0);
+        }
+      }
+      for (std::size_t p = 0; p < net->ports().size(); ++p) {
+        const Port& port = net->ports()[p];
+        const std::size_t i = node(l, port.row, port.col);
+        const double q = flow->port_flow[p] * p_sys;
+        if (port.kind == PortKind::kInlet) {
+          // Inlet face temperature is fixed at T_in: the advected enthalpy
+          // C_v·Q·T_in is a constant heat inflow.
+          out.rhs[i] += cv * q * problem_.inlet_temperature;
+          out.inlet_flow_total += q;
+        } else {
+          // Outlet face leaves at the cell temperature T_i (paper §2.2):
+          // -C_v·(-Q)·T_i = +C_v·Q·T_i on the left-hand side.
+          triplets.add(i, i, cv * q);
+          out.outlet_terms.emplace_back(i, q);
+        }
+      }
+    }
+
+    // Power injection in source layers.
+    if (layer.kind == LayerKind::kSource) {
+      const PowerMap& map =
+          problem_.source_power[static_cast<std::size_t>(layer.source_index)];
+      for (int r = 0; r < grid.rows(); ++r) {
+        for (int c = 0; c < grid.cols(); ++c) {
+          out.rhs[node(l, r, c)] += map.at(r, c);
+        }
+      }
+    }
+
+    // Ambient sink on the top surface.
+    if (l == layer_count - 1 && problem_.ambient_conductance > 0.0) {
+      for (int r = 0; r < grid.rows(); ++r) {
+        for (int c = 0; c < grid.cols(); ++c) {
+          const std::size_t i = node(l, r, c);
+          const double g = problem_.ambient_conductance * cell_area;
+          triplets.add(i, i, g);
+          out.rhs[i] += g * problem_.ambient_temperature;
+        }
+      }
+    }
+  }
+
+  // Source-node maps (row-major cell order).
+  for (int l = 0; l < layer_count; ++l) {
+    if (stack.layer(l).kind != LayerKind::kSource) continue;
+    std::vector<std::size_t> nodes;
+    nodes.reserve(ncells);
+    for (std::size_t cell = 0; cell < ncells; ++cell) {
+      nodes.push_back(static_cast<std::size_t>(l) * ncells + cell);
+    }
+    out.source_nodes.push_back(std::move(nodes));
+  }
+
+  out.matrix = triplets.to_csr();
+  return out;
+}
+
+ThermalField Thermal4RM::simulate(double p_sys) const {
+  return solve_steady(assemble(p_sys));
+}
+
+}  // namespace lcn

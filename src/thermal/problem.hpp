@@ -1,0 +1,67 @@
+// The physical problem a cooling system is designed against: chip geometry,
+// stack, per-source-layer power maps, coolant, and boundary conditions.
+// This is the fixed input; the cooling network(s) and P_sys are the design
+// variables layered on top by the optimizer.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow_solver.hpp"
+#include "geom/grid.hpp"
+#include "geom/power_map.hpp"
+#include "geom/stack.hpp"
+
+namespace lcn {
+
+struct CoolingProblem {
+  Grid2D grid;
+  Stack stack;
+  /// One power map per source layer, indexed by Layer::source_index.
+  std::vector<PowerMap> source_power;
+  CoolantProperties coolant;
+  double inlet_temperature = 300.0;  ///< T_in, K
+
+  /// Optional convective sink on the top surface, W/(m²·K); 0 = adiabatic
+  /// package (all heat leaves through the coolant, the paper's setting).
+  double ambient_conductance = 0.0;
+  double ambient_temperature = 300.0;
+
+  FlowOptions flow_options;
+
+  /// Channel geometry of a given channel layer: width equals the basic-cell
+  /// pitch (w_c = 100 µm in the benchmarks), height equals the layer
+  /// thickness h_c.
+  ChannelGeometry channel_geometry(int layer_index) const {
+    const Layer& layer = stack.layer(layer_index);
+    LCN_REQUIRE(layer.kind == LayerKind::kChannel,
+                "channel_geometry: not a channel layer");
+    return ChannelGeometry{grid.pitch(), layer.thickness};
+  }
+
+  double total_power() const {
+    double sum = 0.0;
+    for (const PowerMap& map : source_power) sum += map.total();
+    return sum;
+  }
+
+  void validate() const {
+    stack.validate();
+    LCN_REQUIRE(static_cast<int>(source_power.size()) == stack.source_count(),
+                "one power map per source layer required");
+    for (const PowerMap& map : source_power) {
+      LCN_REQUIRE(map.grid() == grid, "power map grid mismatch");
+    }
+    LCN_REQUIRE(inlet_temperature > 0.0, "inlet temperature must be positive");
+    LCN_REQUIRE(ambient_conductance >= 0.0,
+                "ambient conductance must be non-negative");
+  }
+};
+
+/// A cooling problem together with its design constraints (Table 2 row).
+struct DesignConstraints {
+  double delta_t_max = 10.0;     ///< ΔT*, K (Problem 1)
+  double t_max = 358.15;         ///< T*_max, K
+  double w_pump_max = 0.0;       ///< W*_pump, W (Problem 2; 0 = unset)
+};
+
+}  // namespace lcn

@@ -1,0 +1,73 @@
+#include "thermal/temp_map.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace lcn {
+
+std::string ascii_heatmap(const ThermalField& field, int source_layer,
+                          int max_cols) {
+  LCN_REQUIRE(source_layer >= 0 &&
+                  source_layer < static_cast<int>(field.source_maps.size()),
+              "source layer out of range");
+  LCN_REQUIRE(max_cols >= 8, "heatmap needs at least 8 columns");
+  const auto& map = field.source_maps[static_cast<std::size_t>(source_layer)];
+  const int rows = field.map_rows;
+  const int cols = field.map_cols;
+
+  double lo = 1e300;
+  double hi = -1e300;
+  for (double t : map) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  const double span = std::max(hi - lo, 1e-12);
+
+  static const char kRamp[] = " .:-=+*#%@";
+  const int levels = static_cast<int>(sizeof(kRamp)) - 2;
+
+  const int step = std::max(1, (cols + max_cols - 1) / max_cols);
+  std::ostringstream os;
+  os << strfmt("min %.2f K, max %.2f K, range %.2f K (1 char = %dx%d cells)\n",
+               lo, hi, hi - lo, step, step);
+  for (int r = 0; r < rows; r += step) {
+    for (int c = 0; c < cols; c += step) {
+      // Average the block the character covers.
+      double sum = 0.0;
+      int count = 0;
+      for (int rr = r; rr < std::min(rows, r + step); ++rr) {
+        for (int cc = c; cc < std::min(cols, c + step); ++cc) {
+          sum += map[static_cast<std::size_t>(rr) * cols + cc];
+          ++count;
+        }
+      }
+      const double t = sum / count;
+      const int level = std::clamp(
+          static_cast<int>((t - lo) / span * levels), 0, levels);
+      os << kRamp[level];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string temperature_csv(const ThermalField& field, int source_layer) {
+  LCN_REQUIRE(source_layer >= 0 &&
+                  source_layer < static_cast<int>(field.source_maps.size()),
+              "source layer out of range");
+  const auto& map = field.source_maps[static_cast<std::size_t>(source_layer)];
+  std::ostringstream os;
+  for (int r = 0; r < field.map_rows; ++r) {
+    for (int c = 0; c < field.map_cols; ++c) {
+      if (c > 0) os << ',';
+      os << strfmt("%.4f", map[static_cast<std::size_t>(r) * field.map_cols + c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lcn

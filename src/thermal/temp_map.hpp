@@ -1,0 +1,19 @@
+// Rendering helpers for source-layer temperature maps (Fig. 10): ASCII
+// heatmaps for the terminal and CSV matrices for plotting.
+#pragma once
+
+#include <string>
+
+#include "thermal/field.hpp"
+
+namespace lcn {
+
+/// ASCII heatmap of one source layer, downsampled to at most `max_cols`
+/// characters wide; intensity ramp from coolest to hottest.
+std::string ascii_heatmap(const ThermalField& field, int source_layer,
+                          int max_cols = 64);
+
+/// CSV matrix (rows of comma-separated kelvins) of one source layer.
+std::string temperature_csv(const ThermalField& field, int source_layer);
+
+}  // namespace lcn

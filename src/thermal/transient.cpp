@@ -1,0 +1,57 @@
+#include "thermal/transient.hpp"
+
+#include "common/assert.hpp"
+#include "sparse/solvers.hpp"
+
+namespace lcn {
+
+std::vector<TransientSample> simulate_transient(
+    const AssembledThermal& system, std::vector<double> initial,
+    const TransientOptions& options, std::vector<double>* final_temps) {
+  const std::size_t n = system.matrix.rows();
+  LCN_REQUIRE(initial.size() == n, "initial temperature size mismatch");
+  LCN_REQUIRE(options.dt > 0.0, "time step must be positive");
+  LCN_REQUIRE(options.steps >= 1, "need at least one step");
+
+  // A' = A + diag(C/Δt), assembled once.
+  sparse::TripletList triplets(n, n);
+  {
+    const auto& row_ptr = system.matrix.row_ptr();
+    const auto& col_idx = system.matrix.col_idx();
+    const auto& values = system.matrix.values();
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        triplets.add(r, col_idx[k], values[k]);
+      }
+      triplets.add(r, r, system.capacitance[r] / options.dt);
+    }
+  }
+  const sparse::CsrMatrix lhs = triplets.to_csr();
+  const sparse::Ilu0Preconditioner precond(lhs);
+
+  std::vector<TransientSample> samples;
+  samples.reserve(static_cast<std::size_t>(options.steps));
+  std::vector<double> temps = std::move(initial);
+  std::vector<double> rhs(n);
+
+  sparse::SolveOptions opts;
+  opts.rel_tolerance = options.rel_tolerance;
+
+  for (int step = 1; step <= options.steps; ++step) {
+    for (std::size_t i = 0; i < n; ++i) {
+      rhs[i] = system.rhs[i] + system.capacitance[i] / options.dt * temps[i];
+    }
+    const sparse::SolveReport report =
+        sparse::bicgstab_solve(lhs, rhs, temps, precond, opts);
+    if (!report.converged) {
+      throw RuntimeError("transient step " + std::to_string(step) +
+                         ": BiCGSTAB failed to converge");
+    }
+    const ThermalField field = make_field(system, temps);
+    samples.push_back({step * options.dt, field.t_max, field.delta_t});
+  }
+  if (final_temps != nullptr) *final_temps = std::move(temps);
+  return samples;
+}
+
+}  // namespace lcn

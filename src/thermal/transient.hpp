@@ -1,0 +1,32 @@
+// Transient thermal analysis (paper §2.3: the steady models "can be easily
+// extended to transient"). Backward-Euler stepping on the assembled RC
+// system: (C/Δt + A)·T_{n+1} = b + (C/Δt)·T_n.
+#pragma once
+
+#include <vector>
+
+#include "thermal/field.hpp"
+
+namespace lcn {
+
+struct TransientOptions {
+  double dt = 1e-3;        ///< s
+  int steps = 100;
+  double rel_tolerance = 1e-9;
+};
+
+struct TransientSample {
+  double time = 0.0;
+  double t_max = 0.0;
+  double delta_t = 0.0;
+};
+
+/// Integrate from `initial` (typically all T_in) and report the metric
+/// trajectory; when `final_temps` is non-null the last temperature vector is
+/// stored there. Unconditionally stable in Δt (backward Euler).
+std::vector<TransientSample> simulate_transient(
+    const AssembledThermal& system, std::vector<double> initial,
+    const TransientOptions& options,
+    std::vector<double>* final_temps = nullptr);
+
+}  // namespace lcn

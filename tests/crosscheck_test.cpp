@@ -1,0 +1,162 @@
+// Cross-validation properties tying the optimizer to the simulators:
+//  - Algorithm 2's result matches a brute-force sweep over P_sys on frozen
+//    networks (optimality of the pressure search);
+//  - the Problem-2 evaluation matches a brute-force constrained sweep;
+//  - 2RM and 4RM agree on metrics within a few percent across all network
+//    generator families;
+//  - network evaluation is invariant under world D4 transforms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/generators.hpp"
+#include "opt/evaluator.hpp"
+#include "opt/sa.hpp"
+
+namespace lcn {
+namespace {
+
+CoolingProblem small_problem(std::uint64_t seed = 41) {
+  CoolingProblem problem;
+  problem.grid = Grid2D(31, 31, 100e-6);
+  problem.stack = make_interlayer_stack(2, 200e-6);
+  problem.source_power.push_back(
+      synthesize_power_map(problem.grid, 4.5, seed));
+  problem.source_power.push_back(
+      synthesize_power_map(problem.grid, 3.5, seed + 1));
+  return problem;
+}
+
+SimConfig fast_sim() { return SimConfig{ThermalModelKind::k2RM, 3}; }
+
+TEST(CrossCheck, AlgorithmTwoMatchesBruteForceSweep) {
+  const CoolingProblem problem = small_problem();
+  const DesignConstraints limits{12.0, 340.0, 0.0};
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+
+  SystemEvaluator eval(problem, net, fast_sim());
+  const EvalResult result = evaluate_p1(eval, limits);
+  ASSERT_TRUE(result.feasible);
+
+  // Brute force: geometric sweep of pressures; the smallest feasible one
+  // bounds the optimum from above/below within the grid resolution.
+  SystemEvaluator sweep_eval(problem, net, fast_sim());
+  double best_feasible = 1e300;
+  for (double p = 200.0; p < 2e5; p *= 1.02) {
+    const ThermalProbe probe = sweep_eval.probe(p);
+    if (probe.delta_t <= limits.delta_t_max && probe.t_max <= limits.t_max) {
+      best_feasible = p;
+      break;  // T_max and ΔT are both satisfied; smallest p found
+    }
+  }
+  ASSERT_LT(best_feasible, 1e300);
+  EXPECT_NEAR(result.p_sys, best_feasible, best_feasible * 0.04);
+}
+
+TEST(CrossCheck, ProblemTwoMatchesBruteForceSweep) {
+  const CoolingProblem problem = small_problem();
+  DesignConstraints limits{0.0, 340.0, 0.0};
+  limits.w_pump_max = 2e-3 * 8.0;
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+
+  SystemEvaluator eval(problem, net, fast_sim());
+  const EvalResult result = evaluate_p2(eval, limits);
+  ASSERT_TRUE(result.feasible);
+
+  SystemEvaluator sweep_eval(problem, net, fast_sim());
+  const double p_star =
+      std::sqrt(limits.w_pump_max * sweep_eval.system_resistance());
+  double best_dt = 1e300;
+  for (double p = p_star / 300.0; p <= p_star * 1.0001; p *= 1.05) {
+    const ThermalProbe probe = sweep_eval.probe(p);
+    if (probe.t_max > limits.t_max) continue;
+    best_dt = std::min(best_dt, probe.delta_t);
+  }
+  ASSERT_LT(best_dt, 1e300);
+  EXPECT_LE(result.score, best_dt * 1.02);
+  EXPECT_GE(result.score, best_dt * 0.98);
+}
+
+// Metric agreement between 2RM and 4RM across every generator family.
+class ModelAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelAgreement, MetricsWithinFivePercent) {
+  const int style = GetParam();
+  const CoolingProblem problem = small_problem(style + 100);
+  const Grid2D& grid = problem.grid;
+  CoolingNetwork net = [&]() {
+    switch (style) {
+      case 0: return make_straight_channels(grid);
+      case 1: return make_comb(grid);
+      case 2:
+        return make_tree_network(grid, make_uniform_layout(grid, 8, 18));
+      case 3:
+        return make_tree_network(grid, make_uniform_layout(grid, 14, 26));
+      default: {
+        std::vector<bool> rows((grid.rows() + 1) / 2, true);
+        for (std::size_t i = 0; i < rows.size(); i += 3) rows[i] = false;
+        return make_modulated_straight(grid, rows);
+      }
+    }
+  }();
+
+  const double p_sys = 4000.0;
+  const Thermal2RM coarse(problem, {net}, 3);
+  const Thermal4RM fine(problem, {net});
+  const ThermalField f2 = coarse.simulate(p_sys);
+  const ThermalField f4 = fine.simulate(p_sys);
+
+  EXPECT_NEAR(f2.t_max, f4.t_max, 0.05 * (f4.t_max - 300.0) + 0.3)
+      << "style " << style;
+  EXPECT_NEAR(f2.delta_t, f4.delta_t, 0.10 * f4.delta_t + 0.4)
+      << "style " << style;
+  EXPECT_NEAR(coarse.system_flow(1.0), fine.system_flow(1.0),
+              fine.system_flow(1.0) * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, ModelAgreement, ::testing::Range(0, 5));
+
+// Full-evaluation invariance under world rotation: rotating power maps,
+// network and restricted region together leaves the Problem-1 score
+// unchanged.
+TEST(CrossCheck, EvaluationInvariantUnderWorldRotation) {
+  const CoolingProblem problem = small_problem();
+  const DesignConstraints limits{12.0, 400.0, 0.0};
+  const CoolingNetwork net =
+      make_tree_network(problem.grid, make_uniform_layout(problem.grid, 8, 18));
+
+  // m = 1 so the 2RM block grid is exactly D4-equivariant (for m > 1 the
+  // ragged edge blocks of a 31-cell grid move under rotation — a
+  // discretization artifact of a few tenths of a kelvin).
+  const SimConfig sim{ThermalModelKind::k2RM, 1};
+  SystemEvaluator eval(problem, net, sim);
+  const EvalResult base = evaluate_p1(eval, limits);
+  ASSERT_TRUE(base.feasible);
+
+  const D4Transform t(3);
+  CoolingProblem rotated = problem;
+  rotated.source_power.clear();
+  for (const PowerMap& map : problem.source_power) {
+    rotated.source_power.push_back(map.transformed(t));
+  }
+  SystemEvaluator eval_rot(rotated, net.transformed(t), sim);
+  const EvalResult rot = evaluate_p2_at(eval_rot, limits, base.p_sys);
+  ASSERT_TRUE(rot.feasible);
+  EXPECT_NEAR(rot.at_p.delta_t, base.at_p.delta_t, 0.05);
+  EXPECT_NEAR(rot.at_p.t_max, base.at_p.t_max, 0.05);
+  EXPECT_NEAR(rot.w_pump, base.w_pump, base.w_pump * 1e-6);
+}
+
+// Pumping-power identity: W = P²/R = P·Q for every model and network.
+TEST(CrossCheck, PumpingPowerIdentity) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = make_comb(problem.grid);
+  const Thermal2RM sim(problem, {net}, 3);
+  for (double p : {500.0, 3000.0, 20000.0}) {
+    EXPECT_NEAR(sim.pumping_power(p), p * sim.system_flow(p),
+                sim.pumping_power(p) * 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace lcn

@@ -1,0 +1,92 @@
+// Tests for restarted GMRES (S1 extension) and the solver fallback chain.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/gmres.hpp"
+
+namespace lcn::sparse {
+namespace {
+
+CsrMatrix advective_matrix(std::size_t n, double advection, Rng& rng) {
+  TripletList t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 4.0 + rng.next_double());
+    if (i + 1 < n) {
+      t.add(i, i + 1, -1.0 - advection);
+      t.add(i + 1, i, -1.0 + advection);
+    }
+    if (i + 9 < n) t.add(i, i + 9, -0.3 * rng.next_double());
+  }
+  return t.to_csr();
+}
+
+TEST(Gmres, ConvergesOnAdvectiveSystems) {
+  Rng rng(31);
+  for (double advection : {0.0, 0.5, 0.95}) {
+    const std::size_t n = 200;
+    const CsrMatrix a = advective_matrix(n, advection, rng);
+    Vector b(n);
+    for (auto& v : b) v = rng.next_real(-1.0, 1.0);
+    Vector x;
+    const Ilu0Preconditioner m(a);
+    const SolveReport report = gmres_solve(a, b, x, m);
+    EXPECT_TRUE(report.converged) << "advection " << advection;
+    Vector r = a.multiply(x);
+    axpy(-1.0, b, r);
+    EXPECT_LT(norm2(r) / norm2(b), 1e-8);
+  }
+}
+
+TEST(Gmres, MatchesDenseReference) {
+  Rng rng(77);
+  const std::size_t n = 40;
+  const CsrMatrix a = advective_matrix(n, 0.7, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.next_real(-2.0, 2.0);
+  Vector x;
+  const IdentityPreconditioner id;
+  ASSERT_TRUE(gmres_solve(a, b, x, id).converged);
+  const DenseLu lu(DenseMatrix::from_csr(a));
+  const Vector ref = lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], ref[i], 1e-7);
+}
+
+TEST(Gmres, SmallRestartStillConverges) {
+  Rng rng(5);
+  const std::size_t n = 120;
+  const CsrMatrix a = advective_matrix(n, 0.4, rng);
+  Vector b(n, 1.0);
+  Vector x;
+  const JacobiPreconditioner m(a);
+  GmresOptions options;
+  options.restart = 5;  // forces many restarts
+  const SolveReport report = gmres_solve(a, b, x, m, options);
+  EXPECT_TRUE(report.converged);
+}
+
+TEST(Gmres, ZeroRhs) {
+  Rng rng(1);
+  const CsrMatrix a = advective_matrix(10, 0.2, rng);
+  Vector x(10, 3.0);
+  const IdentityPreconditioner id;
+  const SolveReport report = gmres_solve(a, Vector(10, 0.0), x, id);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(x, Vector(10, 0.0));
+}
+
+TEST(Gmres, ExactInOneKrylovStepForIdentity) {
+  TripletList t(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) t.add(i, i, 1.0);
+  const CsrMatrix a = t.to_csr();
+  Vector b = {1, 2, 3, 4, 5, 6};
+  Vector x;
+  const IdentityPreconditioner id;
+  const SolveReport report = gmres_solve(a, b, x, id);
+  EXPECT_TRUE(report.converged);
+  EXPECT_LE(report.iterations, 2u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], b[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace lcn::sparse

@@ -1,0 +1,47 @@
+// Tests for PGM image rendering of temperature/power maps.
+#include <gtest/gtest.h>
+
+#include "thermal/image.hpp"
+
+namespace lcn {
+namespace {
+
+ThermalField small_field() {
+  ThermalField field;
+  field.map_rows = 2;
+  field.map_cols = 3;
+  field.source_maps = {{300.0, 310.0, 320.0, 300.0, 315.0, 330.0}};
+  return field;
+}
+
+TEST(TemperaturePgm, HeaderAndSize) {
+  const std::string pgm = temperature_pgm(small_field(), 0, 2);
+  EXPECT_EQ(pgm.substr(0, 3), "P5\n");
+  EXPECT_NE(pgm.find("6 4\n255\n"), std::string::npos);
+  const std::size_t header_end = pgm.find("255\n") + 4;
+  EXPECT_EQ(pgm.size() - header_end, 6u * 4u);  // one byte per pixel
+}
+
+TEST(TemperaturePgm, ExtremesMapToBlackAndWhite) {
+  const std::string pgm = temperature_pgm(small_field(), 0, 1);
+  const std::size_t header_end = pgm.find("255\n") + 4;
+  EXPECT_EQ(static_cast<unsigned char>(pgm[header_end]), 0u);  // 300 K
+  EXPECT_EQ(static_cast<unsigned char>(pgm[header_end + 5]), 255u);  // 330 K
+}
+
+TEST(TemperaturePgm, RejectsBadArgs) {
+  EXPECT_THROW(temperature_pgm(small_field(), 1), ContractError);
+  EXPECT_THROW(temperature_pgm(small_field(), 0, 0), ContractError);
+}
+
+TEST(PowerPgm, UniformMapRendersWithoutCrashing) {
+  const Grid2D grid(4, 4, 1e-4);
+  const PowerMap map(grid, 1.0);
+  const std::string pgm = power_pgm(map, 1);
+  EXPECT_EQ(pgm.substr(0, 3), "P5\n");
+  const std::size_t header_end = pgm.find("255\n") + 4;
+  EXPECT_EQ(pgm.size() - header_end, 16u);
+}
+
+}  // namespace
+}  // namespace lcn

@@ -1,0 +1,131 @@
+// Coverage for small public API surfaces: side utilities, cell rects,
+// stack accessors, node indexing, and error paths not covered elsewhere.
+#include <gtest/gtest.h>
+
+#include "flow/flow_solver.hpp"
+#include "network/generators.hpp"
+#include "thermal/model_4rm.hpp"
+
+namespace lcn {
+namespace {
+
+TEST(SideUtils, NamesAndOpposites) {
+  EXPECT_STREQ(side_name(Side::kWest), "W");
+  EXPECT_STREQ(side_name(Side::kEast), "E");
+  EXPECT_STREQ(side_name(Side::kNorth), "N");
+  EXPECT_STREQ(side_name(Side::kSouth), "S");
+  for (Side s : kAllSides) {
+    EXPECT_EQ(opposite(opposite(s)), s);
+    EXPECT_NE(opposite(s), s);
+  }
+}
+
+TEST(CellRect, EmptyAndContains) {
+  const CellRect empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.rows(), 0);
+  const CellRect rect{2, 3, 5, 7};
+  EXPECT_FALSE(rect.empty());
+  EXPECT_EQ(rect.rows(), 4);
+  EXPECT_EQ(rect.cols(), 5);
+  EXPECT_TRUE(rect.contains(2, 3));
+  EXPECT_TRUE(rect.contains(5, 7));
+  EXPECT_FALSE(rect.contains(1, 3));
+  EXPECT_FALSE(rect.contains(2, 8));
+}
+
+TEST(CellRect, D4TransformNormalizesCorners) {
+  const Grid2D grid(10, 10, 1e-4);
+  const CellRect rect{2, 3, 4, 6};
+  for (int code = 0; code < D4Transform::kCount; ++code) {
+    const D4Transform t(code);
+    const CellRect image = t.apply(grid, rect);
+    EXPECT_FALSE(image.empty()) << "code " << code;
+    EXPECT_EQ(image.rows() * image.cols(), rect.rows() * rect.cols())
+        << "code " << code;
+    const CellRect back = t.inverse().apply(t.transform_grid(grid), image);
+    EXPECT_EQ(back.row0, rect.row0);
+    EXPECT_EQ(back.col1, rect.col1);
+  }
+}
+
+TEST(Stack, TotalThicknessAndAccessors) {
+  const Stack stack = make_interlayer_stack(2, 300e-6);
+  EXPECT_NEAR(stack.total_thickness(), 2 * (100e-6 + 200e-6) + 300e-6,
+              1e-12);
+  EXPECT_EQ(stack.layer(2).kind, LayerKind::kChannel);
+  EXPECT_EQ(stack.layer(2).channel_index, 0);
+  EXPECT_EQ(stack.layer(0).source_index, 0);
+  EXPECT_EQ(stack.layer(3).source_index, 1);
+}
+
+TEST(Thermal4RM, NodeIndexingIsLayerMajor) {
+  CoolingProblem problem;
+  problem.grid = Grid2D(5, 5, 1e-4);
+  problem.stack = make_interlayer_stack(2, 2e-4);
+  problem.source_power.emplace_back(problem.grid, 0.5);
+  problem.source_power.emplace_back(problem.grid, 0.5);
+  CoolingNetwork net(problem.grid);
+  for (int c = 0; c < 5; ++c) net.set_liquid(0, c);
+  net.add_port({0, 0, Side::kWest, PortKind::kInlet});
+  net.add_port({0, 4, Side::kEast, PortKind::kOutlet});
+  const Thermal4RM sim(problem, {net});
+  EXPECT_EQ(sim.node_count(), 5u * 25u);
+  EXPECT_EQ(sim.node(0, 0, 0), 0u);
+  EXPECT_EQ(sim.node(1, 0, 0), 25u);
+  EXPECT_EQ(sim.node(2, 4, 4), 2u * 25u + 24u);
+  EXPECT_THROW(sim.node(5, 0, 0), ContractError);
+}
+
+TEST(Thermal4RM, RejectsMismatchedInputs) {
+  CoolingProblem problem;
+  problem.grid = Grid2D(5, 5, 1e-4);
+  problem.stack = make_interlayer_stack(2, 2e-4);
+  problem.source_power.emplace_back(problem.grid, 0.5);
+  problem.source_power.emplace_back(problem.grid, 0.5);
+  // Wrong network count.
+  EXPECT_THROW(Thermal4RM(problem, {}), ContractError);
+  // Wrong network grid.
+  CoolingNetwork wrong(Grid2D(7, 7, 1e-4));
+  for (int c = 0; c < 7; ++c) wrong.set_liquid(0, c);
+  wrong.add_port({0, 0, Side::kWest, PortKind::kInlet});
+  wrong.add_port({0, 6, Side::kEast, PortKind::kOutlet});
+  EXPECT_THROW(Thermal4RM(problem, {wrong}), ContractError);
+}
+
+TEST(FlowSolution, FlowTowardContracts) {
+  const Grid2D grid(3, 5, 1e-4);
+  CoolingNetwork net(grid, false);
+  for (int c = 0; c < 5; ++c) net.set_liquid(0, c);
+  net.add_port({0, 0, Side::kWest, PortKind::kInlet});
+  net.add_port({0, 4, Side::kEast, PortKind::kOutlet});
+  const ChannelGeometry channel{1e-4, 2e-4};
+  const CoolantProperties water;
+  const FlowSolution sol = FlowSolver(net, channel, water).solve(1.0);
+  // West flow of cell 1 is minus the east flow of cell 0.
+  EXPECT_NEAR(sol.flow_toward(grid, 0, 1, Side::kWest),
+              -sol.flow_toward(grid, 0, 0, Side::kEast), 1e-18);
+  // Boundary and solid-neighbor queries return zero flow.
+  EXPECT_DOUBLE_EQ(sol.flow_toward(grid, 0, 0, Side::kWest), 0.0);
+  EXPECT_DOUBLE_EQ(sol.flow_toward(grid, 0, 2, Side::kSouth), 0.0);
+  // Querying a solid cell is a contract violation.
+  EXPECT_THROW(sol.flow_toward(grid, 1, 1, Side::kEast), ContractError);
+}
+
+TEST(CoolingProblem, ValidateCatchesMismatches) {
+  CoolingProblem problem;
+  problem.grid = Grid2D(5, 5, 1e-4);
+  problem.stack = make_interlayer_stack(2, 2e-4);
+  problem.source_power.emplace_back(problem.grid, 1.0);  // only one map
+  EXPECT_THROW(problem.validate(), ContractError);
+  problem.source_power.emplace_back(Grid2D(7, 7, 1e-4), 1.0);  // wrong grid
+  EXPECT_THROW(problem.validate(), ContractError);
+  problem.source_power.pop_back();
+  problem.source_power.emplace_back(problem.grid, 1.0);
+  EXPECT_NO_THROW(problem.validate());
+  EXPECT_THROW(problem.channel_geometry(0), ContractError);  // not a channel
+  EXPECT_NEAR(problem.channel_geometry(2).height, 2e-4, 1e-15);
+}
+
+}  // namespace
+}  // namespace lcn

@@ -1,0 +1,149 @@
+// Physics property tests probing model structure beyond global balances:
+// 2RM complete-conducting-path behaviour, geometric sensitivities of the
+// channel model, and scaling laws of the flow network.
+#include <gtest/gtest.h>
+
+#include "flow/flow_solver.hpp"
+#include "network/generators.hpp"
+#include "thermal/model_2rm.hpp"
+
+namespace lcn {
+namespace {
+
+constexpr double kPitch = 100e-6;
+
+CoolingProblem problem_with(const Grid2D& grid, double watts) {
+  CoolingProblem problem;
+  problem.grid = grid;
+  problem.stack = make_interlayer_stack(2, 200e-6);
+  problem.source_power.emplace_back(grid, watts / 2);
+  problem.source_power.emplace_back(grid, watts / 2);
+  return problem;
+}
+
+TEST(LaneConduction, LiquidRowBlocksInPlaneHeatSpreading) {
+  // Two networks on a 12-row grid (m = 6 => two block rows): (a) channels
+  // only in the north block, (b) the same plus a liquid row right at the
+  // block boundary, severing the south block's conducting lanes toward the
+  // north. Power only in the south half. With lanes cut, the south block
+  // must run hotter: its heat reaches the coolant through fewer paths.
+  const Grid2D grid(12, 13, kPitch);
+  auto build = [&](bool boundary_channel) {
+    CoolingNetwork net(grid);
+    for (int r : {0, 2}) {
+      for (int c = 0; c < grid.cols(); ++c) net.set_liquid(r, c);
+      net.add_port({r, 0, Side::kWest, PortKind::kInlet});
+      net.add_port({r, grid.cols() - 1, Side::kEast, PortKind::kOutlet});
+    }
+    if (boundary_channel) {
+      const int r = 4;  // last even row of the north block (m = 6)
+      for (int c = 0; c < grid.cols(); ++c) net.set_liquid(r, c);
+      net.add_port({r, 0, Side::kWest, PortKind::kInlet});
+      net.add_port({r, grid.cols() - 1, Side::kEast, PortKind::kOutlet});
+    }
+    return net;
+  };
+
+  CoolingProblem problem = problem_with(grid, 0.0);
+  // Power only in the south rows of the bottom source layer.
+  for (int r = 6; r < 12; ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      problem.source_power[0].at(r, c) = 0.5 / (6.0 * grid.cols());
+    }
+  }
+
+  const Thermal2RM without(problem, {build(false)}, 6);
+  const Thermal2RM with(problem, {build(true)}, 6);
+  const ThermalField f_without = without.simulate(2000.0);
+  const ThermalField f_with = with.simulate(2000.0);
+  // Adding a channel row normally cools the chip; but for the *south* block
+  // the boundary channel also cuts every conducting lane to the north
+  // coolant. Check the lane effect exists: the south/north temperature
+  // *contrast* must grow when the boundary row is liquid.
+  auto south_minus_north = [&](const ThermalField& f) {
+    const auto& map = f.source_maps[0];
+    return map[static_cast<std::size_t>(f.map_cols) + 0] -
+           map[0];  // block row 1 vs block row 0, first column
+  };
+  EXPECT_GT(south_minus_north(f_with), south_minus_north(f_without) - 1e-9);
+}
+
+TEST(ChannelGeometry, TallerChannelsLowerResistanceAndTemperature) {
+  const Grid2D grid(21, 21, kPitch);
+  const CoolingNetwork net = make_straight_channels(grid);
+  double prev_resistance = 1e300;
+  double prev_tmax = 1e300;
+  for (double h_c : {100e-6, 200e-6, 400e-6}) {
+    CoolingProblem problem;
+    problem.grid = grid;
+    problem.stack = make_interlayer_stack(2, h_c);
+    problem.source_power.emplace_back(grid, 2.0);
+    problem.source_power.emplace_back(grid, 2.0);
+    const Thermal2RM sim(problem, {net}, 3);
+    const double resistance = 1.0 / sim.system_flow(1.0);
+    const double t_max = sim.simulate(2000.0).t_max;
+    EXPECT_LT(resistance, prev_resistance) << "h_c " << h_c;
+    EXPECT_LT(t_max, prev_tmax) << "h_c " << h_c;
+    prev_resistance = resistance;
+    prev_tmax = t_max;
+  }
+}
+
+TEST(FlowScaling, ViscosityScalesResistanceLinearly) {
+  const Grid2D grid(21, 21, kPitch);
+  const CoolingNetwork net = make_straight_channels(grid);
+  const ChannelGeometry channel{kPitch, 200e-6};
+  CoolantProperties water;
+  const double r1 =
+      FlowSolver(net, channel, water).solve(1.0).system_resistance();
+  water.dynamic_viscosity *= 3.0;
+  const double r3 =
+      FlowSolver(net, channel, water).solve(1.0).system_resistance();
+  EXPECT_NEAR(r3, 3.0 * r1, r1 * 1e-9);
+}
+
+TEST(FlowScaling, MoreInletsLowerResistance) {
+  const Grid2D grid(21, 21, kPitch);
+  // Same liquid cells, one vs many inlet openings on the comb trunk.
+  const CoolingNetwork one_inlet = make_comb(grid);
+  CoolingNetwork many_inlets = make_comb(grid);
+  for (int r = 0; r < grid.rows(); r += 2) {
+    if (r == 10) continue;  // the comb's own inlet row
+    many_inlets.add_port({r, 0, Side::kWest, PortKind::kInlet});
+  }
+  const ChannelGeometry channel{kPitch, 200e-6};
+  const CoolantProperties water;
+  const double r_one =
+      FlowSolver(one_inlet, channel, water).solve(1.0).system_resistance();
+  const double r_many =
+      FlowSolver(many_inlets, channel, water).solve(1.0).system_resistance();
+  EXPECT_LT(r_many, r_one);
+}
+
+// Coolant heat capacity sweep: stronger C_v lowers the coolant temperature
+// rise and thus ΔT at a fixed operating point.
+class CoolantSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoolantSweep, HigherHeatCapacityCoolsBetter) {
+  const Grid2D grid(21, 21, kPitch);
+  CoolingProblem problem = problem_with(grid, 4.0);
+  const CoolingNetwork net = make_straight_channels(grid);
+
+  const Thermal2RM base(problem, {net}, 3);
+  const double t_base = base.simulate(1500.0).t_max;
+
+  problem.coolant.volumetric_heat *= GetParam();
+  const Thermal2RM boosted(problem, {net}, 3);
+  const double t_boosted = boosted.simulate(1500.0).t_max;
+  if (GetParam() > 1.0) {
+    EXPECT_LT(t_boosted, t_base);
+  } else {
+    EXPECT_GT(t_boosted, t_base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, CoolantSweep,
+                         ::testing::Values(0.5, 0.8, 1.5, 2.0, 4.0));
+
+}  // namespace
+}  // namespace lcn

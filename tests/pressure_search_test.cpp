@@ -1,0 +1,154 @@
+// Unit tests for the pressure searches (S9): Algorithm 3 on analytic f with
+// known crossings/minima, monotone bisection, golden section.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/pressure_search.hpp"
+
+namespace lcn {
+namespace {
+
+// Uni-modal f(p) = a/p + b·p: minimum at sqrt(a/b) with value 2·sqrt(a·b);
+// models ΔT(P_sys) with a coolant-heating branch and a gradient-reversal
+// branch (paper Fig. 6(a)).
+PressureProbe unimodal(double a, double b) {
+  return [a, b](double p) { return a / p + b * p; };
+}
+
+// Monotone decreasing f(p) = a/p + c (paper Fig. 6(b)).
+PressureProbe monotone(double a, double c) {
+  return [a, c](double p) { return a / p + c; };
+}
+
+TEST(MinimizePressureForTarget, FindsSmallestFeasiblePressure) {
+  // f(p) = 1000/p + 0.002p, target 5: crossing at p = (5-sqrt(17))/0.004.
+  const double a = 1000.0;
+  const double b = 0.002;
+  const double target = 5.0;
+  const double expected = (target - std::sqrt(target * target - 4 * a * b)) /
+                          (2.0 * b);
+  const PressureSearchResult result =
+      minimize_pressure_for_target(unimodal(a, b), target);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(result.p_sys, expected, expected * 0.02);
+  EXPECT_LE(result.f_value, target);
+}
+
+TEST(MinimizePressureForTarget, InfeasibleTargetReturnsMinimum) {
+  // min f = 2·sqrt(a·b) = 2.828 at p ≈ 707; target 2 is unreachable.
+  const PressureSearchResult result =
+      minimize_pressure_for_target(unimodal(1000.0, 0.002), 2.0);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_NEAR(result.p_sys, std::sqrt(1000.0 / 0.002), 707.0 * 0.1);
+  EXPECT_NEAR(result.f_value, 2.0 * std::sqrt(1000.0 * 0.002), 0.05);
+}
+
+TEST(MinimizePressureForTarget, MonotoneDecreasingCrossing) {
+  // f(p) = 500/p, target 5 -> p = 100.
+  const PressureSearchResult result =
+      minimize_pressure_for_target(monotone(500.0, 0.0), 5.0);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(result.p_sys, 100.0, 2.5);
+}
+
+TEST(MinimizePressureForTarget, PlateauAboveTargetIsInfeasible) {
+  // f decays to an asymptote of 8 > target 5: must detect the plateau
+  // rather than expanding forever.
+  PressureSearchOptions options;
+  options.p_max = 1e9;
+  const PressureSearchResult result =
+      minimize_pressure_for_target(monotone(2000.0, 8.0), 5.0, options);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_GT(result.f_value, 5.0);
+}
+
+TEST(MinimizePressureForTarget, AlreadyFeasibleAtFloor) {
+  // f tiny everywhere: the numerical floor is feasible.
+  const PressureSearchResult result =
+      minimize_pressure_for_target([](double) { return 0.5; }, 5.0);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_LE(result.p_sys, 2000.0);
+}
+
+TEST(MinimizePressureForTarget, UsesFewProbes) {
+  int count = 0;
+  const PressureProbe f = [&count](double p) {
+    ++count;
+    return 1000.0 / p + 0.002 * p;
+  };
+  minimize_pressure_for_target(f, 5.0);
+  EXPECT_LT(count, 45);
+}
+
+TEST(MinimizePressureMonotone, BisectsToCrossing) {
+  // h(p) = 400/p + 300, target 310 -> p = 40.
+  const PressureSearchResult result = minimize_pressure_monotone(
+      monotone(400.0, 300.0), 310.0, 1.0, 1e6);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_NEAR(result.p_sys, 40.0, 1.0);
+  EXPECT_LE(result.f_value, 310.0);
+}
+
+TEST(MinimizePressureMonotone, InfeasibleWhenUpperBoundFails) {
+  const PressureSearchResult result = minimize_pressure_monotone(
+      monotone(400.0, 300.0), 310.0, 1.0, 20.0);  // h(20) = 320 > 310
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(MinimizePressureMonotone, LowerBoundAlreadyFeasible) {
+  const PressureSearchResult result = minimize_pressure_monotone(
+      monotone(400.0, 300.0), 350.0, 100.0, 1e6);  // h(100) = 304
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.p_sys, 100.0);
+}
+
+TEST(GoldenSectionMin, FindsUnimodalMinimum) {
+  const double p_star = std::sqrt(1000.0 / 0.002);
+  const PressureSearchResult result =
+      golden_section_min(unimodal(1000.0, 0.002), 10.0, 1e5);
+  EXPECT_NEAR(result.p_sys, p_star, p_star * 0.02);
+}
+
+TEST(GoldenSectionMin, MonotoneDecreasingConvergesToUpperBound) {
+  const PressureSearchResult result =
+      golden_section_min(monotone(500.0, 1.0), 10.0, 5000.0);
+  EXPECT_NEAR(result.p_sys, 5000.0, 5000.0 * 0.05);
+}
+
+// Property sweep: Algorithm 3 returns the true crossing for many (a, b,
+// target) combinations.
+struct CrossingCase {
+  double a;
+  double b;
+  double target;
+};
+
+class Algorithm3Sweep : public ::testing::TestWithParam<CrossingCase> {};
+
+TEST_P(Algorithm3Sweep, MatchesClosedForm) {
+  const auto [a, b, target] = GetParam();
+  const double disc = target * target - 4.0 * a * b;
+  const PressureSearchResult result =
+      minimize_pressure_for_target(unimodal(a, b), target);
+  if (disc >= 0.0) {
+    const double expected = (target - std::sqrt(disc)) / (2.0 * b);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_NEAR(result.p_sys, expected, expected * 0.03);
+  } else {
+    EXPECT_FALSE(result.feasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Algorithm3Sweep,
+    ::testing::Values(CrossingCase{1000.0, 0.002, 5.0},
+                      CrossingCase{1000.0, 0.002, 3.0},
+                      CrossingCase{1000.0, 0.002, 2.5},
+                      CrossingCase{50000.0, 1e-4, 20.0},
+                      CrossingCase{200.0, 0.01, 10.0},
+                      CrossingCase{200.0, 0.01, 2.0},
+                      CrossingCase{8.0e5, 3e-3, 120.0}));
+
+}  // namespace
+}  // namespace lcn

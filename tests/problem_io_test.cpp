@@ -1,0 +1,121 @@
+// Tests for the stack-description / floorplan file formats (Algorithm 1
+// inputs) and their round-trip serializers.
+#include <gtest/gtest.h>
+
+#include "geom/problem_io.hpp"
+
+namespace lcn {
+namespace {
+
+const std::string kStack = R"(# demo
+grid 21 21 100e-6
+inlet_temperature 305
+ambient 10 298
+layer source d0 100e-6 130 1.63e6
+layer solid  b0 200e-6 130 1.63e6
+layer channel c0 400e-6 130 1.63e6
+layer source d1 100e-6 130 1.63e6
+layer solid  b1 200e-6 130 1.63e6
+constraint delta_t 9
+constraint t_max 355
+constraint w_pump 0.05
+)";
+
+TEST(StackDescription, ParsesEveryDirective) {
+  const ProblemDescription desc = parse_stack_description(kStack);
+  EXPECT_EQ(desc.problem.grid.rows(), 21);
+  EXPECT_NEAR(desc.problem.grid.pitch(), 100e-6, 1e-15);
+  EXPECT_DOUBLE_EQ(desc.problem.inlet_temperature, 305.0);
+  EXPECT_DOUBLE_EQ(desc.problem.ambient_conductance, 10.0);
+  EXPECT_DOUBLE_EQ(desc.problem.ambient_temperature, 298.0);
+  EXPECT_EQ(desc.problem.stack.layer_count(), 5);
+  EXPECT_EQ(desc.problem.stack.source_count(), 2);
+  EXPECT_EQ(desc.problem.stack.channel_count(), 1);
+  EXPECT_DOUBLE_EQ(desc.constraints.delta_t_max, 9.0);
+  EXPECT_DOUBLE_EQ(desc.constraints.t_max, 355.0);
+  EXPECT_DOUBLE_EQ(desc.constraints.w_pump_max, 0.05);
+  EXPECT_EQ(desc.problem.source_power.size(), 2u);
+}
+
+TEST(StackDescription, RoundTripsThroughFormatter) {
+  const ProblemDescription desc = parse_stack_description(kStack);
+  const ProblemDescription again =
+      parse_stack_description(format_stack_description(desc));
+  EXPECT_EQ(again.problem.grid, desc.problem.grid);
+  EXPECT_EQ(again.problem.stack.layer_count(),
+            desc.problem.stack.layer_count());
+  EXPECT_DOUBLE_EQ(again.constraints.delta_t_max,
+                   desc.constraints.delta_t_max);
+  EXPECT_DOUBLE_EQ(again.problem.ambient_conductance,
+                   desc.problem.ambient_conductance);
+}
+
+TEST(StackDescription, RejectsMalformedInput) {
+  EXPECT_THROW(parse_stack_description("layer source d0 1e-4 130 1.63e6\n"),
+               RuntimeError);  // missing grid
+  EXPECT_THROW(parse_stack_description("grid 10 10\n"), RuntimeError);
+  EXPECT_THROW(parse_stack_description("grid 10 10 1e-4\nwhat 1\n"),
+               RuntimeError);
+  EXPECT_THROW(parse_stack_description(
+                   "grid 10 10 1e-4\nlayer magic x 1e-4 1 1\n"),
+               RuntimeError);
+  EXPECT_THROW(parse_stack_description(
+                   "grid 10 10 1e-4\nconstraint delta_t abc\n"),
+               RuntimeError);
+  // Stack validation still applies (channel on top is illegal).
+  EXPECT_THROW(parse_stack_description(
+                   "grid 10 10 1e-4\n"
+                   "layer source d0 1e-4 130 1.63e6\n"
+                   "layer channel c0 1e-4 130 1.63e6\n"),
+               ContractError);
+}
+
+TEST(Floorplan, ParsesUnitsAndSumsOverlaps) {
+  const Grid2D grid(21, 21, 100e-6);
+  const PowerMap map = parse_floorplan(
+      "# fp\n"
+      "bg 0 0 21 21 4.41\n"
+      "hot 5 5 3 3 0.9\n",
+      grid);
+  EXPECT_NEAR(map.total(), 5.31, 1e-9);
+  EXPECT_NEAR(map.at(6, 6), 4.41 / 441.0 + 0.1, 1e-9);
+}
+
+TEST(Floorplan, RejectsOutOfBoundsUnits) {
+  const Grid2D grid(10, 10, 100e-6);
+  EXPECT_THROW(parse_floorplan("u 8 8 5 5 1.0\n", grid), RuntimeError);
+  EXPECT_THROW(parse_floorplan("u 0 0 0 3 1.0\n", grid), RuntimeError);
+  EXPECT_THROW(parse_floorplan("u 0 0 3 1.0\n", grid), RuntimeError);
+}
+
+TEST(Floorplan, FormatterRoundTripsNonZeroCells) {
+  const Grid2D grid(8, 8, 100e-6);
+  PowerMap map(grid, 0.0);
+  map.at(2, 3) = 0.5;
+  map.at(7, 0) = 1.25;
+  const PowerMap again = parse_floorplan(format_floorplan(map, "u"), grid);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_NEAR(again.at(r, c), map.at(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(ProblemIo, LoadsTheShippedDemoCase) {
+  const ProblemDescription desc = load_problem(
+      std::string(LCN_DATA_DIR) + "/demo_stack.txt",
+      {std::string(LCN_DATA_DIR) + "/demo_die0.flp",
+       std::string(LCN_DATA_DIR) + "/demo_die1.flp"});
+  EXPECT_EQ(desc.problem.grid.rows(), 51);
+  EXPECT_EQ(desc.problem.stack.source_count(), 2);
+  EXPECT_NEAR(desc.problem.source_power[0].total(), 6.5, 1e-9);
+  EXPECT_NEAR(desc.problem.source_power[1].total(), 4.0, 1e-9);
+  EXPECT_NO_THROW(desc.problem.validate());
+}
+
+TEST(ProblemIo, MissingFileThrows) {
+  EXPECT_THROW(read_text_file("/nonexistent/path/x.txt"), RuntimeError);
+}
+
+}  // namespace
+}  // namespace lcn

@@ -1,0 +1,60 @@
+// Tests for the design report generator.
+#include <gtest/gtest.h>
+
+#include "network/generators.hpp"
+#include "opt/report.hpp"
+
+namespace lcn {
+namespace {
+
+BenchmarkCase quick_case() {
+  BenchmarkCase bench;
+  bench.id = 97;
+  bench.name = "unit-report";
+  bench.problem.grid = Grid2D(21, 21, 100e-6);
+  bench.problem.stack = make_interlayer_stack(2, 200e-6);
+  bench.problem.source_power.push_back(
+      synthesize_power_map(bench.problem.grid, 2.0, 61));
+  bench.problem.source_power.push_back(
+      synthesize_power_map(bench.problem.grid, 2.0, 62));
+  bench.constraints.delta_t_max = 50.0;
+  bench.constraints.t_max = 500.0;
+  return bench;
+}
+
+TEST(DesignReport, ContainsEverySection) {
+  const BenchmarkCase bench = quick_case();
+  const CoolingNetwork net = make_straight_channels(bench.problem.grid);
+  ReportOptions options;
+  options.use_4rm = false;
+  options.thermal_cell = 3;
+  const std::string report = design_report(bench, net, 3000.0, options);
+  for (const char* needle :
+       {"design report", "constraints", "design rules: clean", "network:",
+        "hydraulics @ 3.00 kPa", "laminar: model valid", "thermal (2RM)",
+        "source layer 0", "source layer 1", "bottom source layer"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(DesignReport, FlagsConstraintViolations) {
+  BenchmarkCase bench = quick_case();
+  bench.constraints.t_max = 301.0;  // impossible
+  bench.constraints.delta_t_max = 0.1;
+  const CoolingNetwork net = make_straight_channels(bench.problem.grid);
+  ReportOptions options;
+  options.use_4rm = false;
+  options.include_heatmap = false;
+  const std::string report = design_report(bench, net, 1000.0, options);
+  EXPECT_NE(report.find("VIOLATED"), std::string::npos);
+  EXPECT_EQ(report.find("bottom source layer"), std::string::npos);
+}
+
+TEST(DesignReport, RejectsNonPositivePressure) {
+  const BenchmarkCase bench = quick_case();
+  const CoolingNetwork net = make_straight_channels(bench.problem.grid);
+  EXPECT_THROW(design_report(bench, net, 0.0), ContractError);
+}
+
+}  // namespace
+}  // namespace lcn

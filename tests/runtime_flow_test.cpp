@@ -1,0 +1,120 @@
+// Tests for the run-time flow-rate management extension (paper §7).
+#include <gtest/gtest.h>
+
+#include "network/generators.hpp"
+#include "opt/runtime_flow.hpp"
+
+namespace lcn {
+namespace {
+
+CoolingProblem nominal_problem() {
+  CoolingProblem problem;
+  problem.grid = Grid2D(31, 31, 100e-6);
+  problem.stack = make_interlayer_stack(2, 200e-6);
+  problem.source_power.push_back(synthesize_power_map(problem.grid, 4.0, 21));
+  problem.source_power.push_back(synthesize_power_map(problem.grid, 3.0, 22));
+  return problem;
+}
+
+RuntimeOptions fast_options() {
+  RuntimeOptions options;
+  options.sim = SimConfig{ThermalModelKind::k2RM, 3};
+  return options;
+}
+
+TEST(RuntimeFlow, LighterPhasesNeedLessPressure) {
+  const CoolingProblem problem = nominal_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  DesignConstraints limits{12.0, 400.0, 0.0};
+  const std::vector<PowerPhase> phases = {
+      {{0.3, 0.3}, 1.0}, {{1.0, 1.0}, 1.0}, {{1.2, 1.2}, 1.0}};
+  const RuntimePlan plan =
+      plan_runtime_flow(problem, net, limits, phases, fast_options());
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LT(plan.phases[0].p_sys, plan.phases[1].p_sys);
+  EXPECT_LT(plan.phases[1].p_sys, plan.phases[2].p_sys);
+  for (const PhasePlan& pp : plan.phases) {
+    EXPECT_LE(pp.at_p.delta_t, limits.delta_t_max * 1.001);
+    EXPECT_LE(pp.at_p.t_max, limits.t_max * 1.001);
+  }
+}
+
+TEST(RuntimeFlow, AdaptationSavesEnergy) {
+  const CoolingProblem problem = nominal_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  DesignConstraints limits{12.0, 400.0, 0.0};
+  const std::vector<PowerPhase> phases = {{{0.2, 0.2}, 10.0},
+                                          {{1.0, 1.0}, 1.0}};
+  const RuntimePlan plan =
+      plan_runtime_flow(problem, net, limits, phases, fast_options());
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LT(plan.adaptive_energy, plan.worst_case_energy);
+  EXPECT_GT(plan.energy_saving(), 0.3);  // long idle phase => big saving
+}
+
+TEST(RuntimeFlow, InfeasiblePhaseMarksPlanInfeasible) {
+  const CoolingProblem problem = nominal_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  DesignConstraints limits{0.01, 310.0, 0.0};  // impossible gradient limit
+  const RuntimePlan plan = plan_runtime_flow(
+      problem, net, limits, {{{1.0, 1.0}, 1.0}}, fast_options());
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(RuntimeFlow, TransientVerificationConfirmsSteadyPlan) {
+  const CoolingProblem problem = nominal_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  DesignConstraints limits{12.0, 400.0, 0.0};
+  const std::vector<PowerPhase> phases = {{{0.4, 0.4}, 0.05},
+                                          {{1.0, 1.0}, 0.05}};
+  const RuntimePlan plan =
+      plan_runtime_flow(problem, net, limits, phases, fast_options());
+  ASSERT_TRUE(plan.feasible);
+  const TransientCheck check = verify_plan_transient(
+      problem, net, limits, phases, plan, /*dt=*/2e-3, fast_options());
+  EXPECT_TRUE(check.within_t_max);
+  EXPECT_EQ(check.phase_peaks.size(), 2u);
+  // The transient trajectory never overshoots the steady envelope by more
+  // than the integration tolerance: peaks stay at/below the per-phase
+  // steady T_max (heating toward it monotonically from a cooler state).
+  EXPECT_LE(check.phase_peaks[1],
+            std::max(plan.phases[0].at_p.t_max, plan.phases[1].at_p.t_max) +
+                0.5);
+  EXPECT_GT(check.peak_t_max, 300.0);
+}
+
+TEST(RuntimeFlow, TransientVerifyRejectsBogusPlan) {
+  const CoolingProblem problem = nominal_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  DesignConstraints limits{12.0, 400.0, 0.0};
+  // Long enough for the stack to essentially reach steady state (~0.1 s
+  // time constant on this problem).
+  const std::vector<PowerPhase> phases = {{{1.0, 1.0}, 0.6}};
+  RuntimePlan plan =
+      plan_runtime_flow(problem, net, limits, phases, fast_options());
+  ASSERT_TRUE(plan.feasible);
+  // Tighten the limit below the planned steady state: the transient check
+  // must flag it.
+  DesignConstraints tight = limits;
+  tight.t_max = plan.phases[0].at_p.t_max - 0.5;
+  const TransientCheck check = verify_plan_transient(
+      problem, net, tight, phases, plan, /*dt=*/5e-3, fast_options());
+  EXPECT_FALSE(check.within_t_max);
+}
+
+TEST(RuntimeFlow, ValidatesInputs) {
+  const CoolingProblem problem = nominal_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  DesignConstraints limits{12.0, 400.0, 0.0};
+  EXPECT_THROW(plan_runtime_flow(problem, net, limits, {}, fast_options()),
+               ContractError);
+  EXPECT_THROW(plan_runtime_flow(problem, net, limits, {{{1.0}, 1.0}},
+                                 fast_options()),
+               ContractError);  // wrong per-layer scale count
+  EXPECT_THROW(plan_runtime_flow(problem, net, limits,
+                                 {{{1.0, 1.0}, -1.0}}, fast_options()),
+               ContractError);  // negative duration
+}
+
+}  // namespace
+}  // namespace lcn

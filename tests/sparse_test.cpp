@@ -1,0 +1,248 @@
+// Unit tests for the sparse linear algebra substrate (S1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/preconditioner.hpp"
+#include "sparse/solvers.hpp"
+
+namespace lcn::sparse {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 4 -1  0]
+  // [-1  4 -1]
+  // [ 0 -1  4]
+  TripletList t(3, 3);
+  t.add(0, 0, 4.0);
+  t.add(0, 1, -1.0);
+  t.add(1, 0, -1.0);
+  t.add(1, 1, 4.0);
+  t.add(1, 2, -1.0);
+  t.add(2, 1, -1.0);
+  t.add(2, 2, 4.0);
+  return t.to_csr();
+}
+
+TEST(TripletList, MergesDuplicatesBySumming) {
+  TripletList t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 0, 2.5);
+  t.add(1, 1, -1.0);
+  t.add(0, 1, 0.5);
+  const CsrMatrix a = t.to_csr();
+  EXPECT_EQ(a.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 0.0);
+}
+
+TEST(TripletList, DropsExplicitZeros) {
+  TripletList t(2, 2);
+  t.add(0, 0, 0.0);
+  t.add(1, 1, 1.0);
+  EXPECT_EQ(t.to_csr().nnz(), 1u);
+}
+
+TEST(TripletList, RejectsOutOfRangeIndices) {
+  TripletList t(2, 2);
+  EXPECT_THROW(t.add(2, 0, 1.0), ContractError);
+  EXPECT_THROW(t.add(0, 2, 1.0), ContractError);
+}
+
+TEST(CsrMatrix, MultiplyMatchesDense) {
+  const CsrMatrix a = small_matrix();
+  const Vector x = {1.0, 2.0, 3.0};
+  const Vector y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 4.0 - 2.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0 + 8.0 - 3.0);
+  EXPECT_DOUBLE_EQ(y[2], -2.0 + 12.0);
+}
+
+TEST(CsrMatrix, SymmetryGapDetectsAsymmetry) {
+  EXPECT_DOUBLE_EQ(small_matrix().symmetry_gap(), 0.0);
+  TripletList t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  t.add(0, 1, 2.0);
+  t.add(1, 0, 1.0);
+  EXPECT_DOUBLE_EQ(t.to_csr().symmetry_gap(), 1.0);
+}
+
+TEST(CsrMatrix, DiagonalExtraction) {
+  const Vector d = small_matrix().diagonal();
+  EXPECT_EQ(d, (Vector{4.0, 4.0, 4.0}));
+}
+
+TEST(DenseLu, SolvesSmallSystemExactly) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 2.0; a(0, 1) = 1.0; a(0, 2) = -1.0;
+  a(1, 0) = -3.0; a(1, 1) = -1.0; a(1, 2) = 2.0;
+  a(2, 0) = -2.0; a(2, 1) = 1.0; a(2, 2) = 2.0;
+  const DenseLu lu(a);
+  const Vector x = lu.solve({8.0, -11.0, -3.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(DenseLu, ThrowsOnSingularMatrix) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_THROW(DenseLu lu(a), RuntimeError);
+}
+
+// Random SPD system: A = B^T B + n I assembled sparsely from a banded B.
+CsrMatrix random_spd(std::size_t n, Rng& rng) {
+  TripletList t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 4.0 + rng.next_double());
+    if (i + 1 < n) {
+      const double off = -1.0 + 0.2 * rng.next_double();
+      t.add(i, i + 1, off);
+      t.add(i + 1, i, off);
+    }
+    if (i + 7 < n) {
+      const double off = -0.3 * rng.next_double();
+      t.add(i, i + 7, off);
+      t.add(i + 7, i, off);
+    }
+  }
+  return t.to_csr();
+}
+
+TEST(CgSolve, ConvergesOnRandomSpdSystems) {
+  Rng rng(42);
+  for (std::size_t n : {5u, 50u, 500u}) {
+    const CsrMatrix a = random_spd(n, rng);
+    Vector b(n);
+    for (auto& v : b) v = rng.next_real(-1.0, 1.0);
+    Vector x;
+    const JacobiPreconditioner m(a);
+    const SolveReport report = cg_solve(a, b, x, m);
+    EXPECT_TRUE(report.converged) << "n=" << n;
+    Vector r = a.multiply(x);
+    axpy(-1.0, b, r);
+    EXPECT_LT(norm2(r) / norm2(b), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(CgSolve, ZeroRhsGivesZeroSolution) {
+  const CsrMatrix a = small_matrix();
+  Vector x = {5.0, 5.0, 5.0};
+  const IdentityPreconditioner id;
+  const SolveReport report = cg_solve(a, Vector(3, 0.0), x, id);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(x, Vector(3, 0.0));
+}
+
+CsrMatrix random_nonsymmetric(std::size_t n, Rng& rng, double advection) {
+  TripletList t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 5.0 + rng.next_double());
+    if (i + 1 < n) {
+      t.add(i, i + 1, -1.0 - advection * rng.next_double());
+      t.add(i + 1, i, -1.0 + advection * rng.next_double());
+    }
+    if (i + 11 < n) t.add(i, i + 11, -0.4 * rng.next_double());
+  }
+  return t.to_csr();
+}
+
+TEST(BicgstabSolve, ConvergesOnNonsymmetricSystems) {
+  Rng rng(7);
+  for (std::size_t n : {4u, 64u, 400u}) {
+    const CsrMatrix a = random_nonsymmetric(n, rng, 0.8);
+    Vector b(n);
+    for (auto& v : b) v = rng.next_real(-2.0, 2.0);
+    Vector x;
+    const Ilu0Preconditioner m(a);
+    const SolveReport report = bicgstab_solve(a, b, x, m);
+    EXPECT_TRUE(report.converged) << "n=" << n;
+    Vector r = a.multiply(x);
+    axpy(-1.0, b, r);
+    EXPECT_LT(norm2(r) / norm2(b), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(BicgstabSolve, MatchesDenseLuSolution) {
+  Rng rng(99);
+  const std::size_t n = 30;
+  const CsrMatrix a = random_nonsymmetric(n, rng, 0.5);
+  Vector b(n);
+  for (auto& v : b) v = rng.next_real(-1.0, 1.0);
+
+  Vector x_iter;
+  const Ilu0Preconditioner m(a);
+  ASSERT_TRUE(bicgstab_solve(a, b, x_iter, m).converged);
+
+  const DenseLu lu(DenseMatrix::from_csr(a));
+  const Vector x_ref = lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x_iter[i], x_ref[i], 1e-7 * (1.0 + std::abs(x_ref[i])));
+  }
+}
+
+TEST(Ilu0, ExactForTriangularPattern) {
+  // For a lower-triangular matrix ILU(0) is an exact factorization, so one
+  // preconditioner application solves the system.
+  TripletList t(4, 4);
+  t.add(0, 0, 2.0);
+  t.add(1, 0, -1.0);
+  t.add(1, 1, 3.0);
+  t.add(2, 1, -0.5);
+  t.add(2, 2, 1.5);
+  t.add(3, 3, 4.0);
+  const CsrMatrix a = t.to_csr();
+  const Ilu0Preconditioner m(a);
+  const Vector b = {2.0, 2.0, 1.0, 8.0};
+  Vector z;
+  m.apply(b, z);
+  const Vector az = a.multiply(z);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(az[i], b[i], 1e-12);
+}
+
+TEST(Ilu0, ThrowsOnMissingDiagonal) {
+  TripletList t(2, 2);
+  t.add(0, 1, 1.0);
+  t.add(1, 0, 1.0);
+  EXPECT_THROW(Ilu0Preconditioner m(t.to_csr()), RuntimeError);
+}
+
+TEST(JacobiPreconditioner, ScalesByInverseDiagonal) {
+  const JacobiPreconditioner m(small_matrix());
+  Vector z;
+  m.apply({4.0, 8.0, -4.0}, z);
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+  EXPECT_DOUBLE_EQ(z[1], 2.0);
+  EXPECT_DOUBLE_EQ(z[2], -1.0);
+}
+
+// Property sweep: CG and BiCGSTAB agree with the dense reference across
+// sizes and seeds.
+class SolverAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverAgreement, SpdCgMatchesDense) {
+  Rng rng(GetParam());
+  const std::size_t n = 20 + rng.next_below(30);
+  const CsrMatrix a = random_spd(n, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.next_real(-1.0, 1.0);
+  Vector x;
+  const JacobiPreconditioner m(a);
+  ASSERT_TRUE(cg_solve(a, b, x, m).converged);
+  const DenseLu lu(DenseMatrix::from_csr(a));
+  const Vector ref = lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], ref[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreement,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace lcn::sparse

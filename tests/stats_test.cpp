@@ -1,0 +1,148 @@
+// Tests for flow statistics (Reynolds/laminar validation) and network
+// geometric statistics.
+#include <gtest/gtest.h>
+
+#include "flow/flow_stats.hpp"
+#include "network/generators.hpp"
+#include "network/network_stats.hpp"
+
+namespace lcn {
+namespace {
+
+constexpr double kPitch = 100e-6;
+
+TEST(FlowStats, SingleChannelVelocityAndReynolds) {
+  const int n = 11;
+  const Grid2D grid(1, n, kPitch);
+  CoolingNetwork net(grid, false);
+  for (int c = 0; c < n; ++c) net.set_liquid(0, c);
+  net.add_port({0, 0, Side::kWest, PortKind::kInlet});
+  net.add_port({0, n - 1, Side::kEast, PortKind::kOutlet});
+
+  const ChannelGeometry channel{kPitch, 200e-6};
+  const CoolantProperties water;
+  const FlowSolution sol = FlowSolver(net, channel, water).solve(1000.0);
+  const FlowStats stats = compute_flow_stats(net, sol, channel, water);
+
+  // Uniform channel: every segment carries Q_sys, v = Q/A.
+  const double v_expected = sol.system_flow / channel.cross_section();
+  EXPECT_NEAR(stats.max_velocity, v_expected, v_expected * 1e-6);
+  EXPECT_NEAR(stats.mean_velocity, v_expected, v_expected * 1e-6);
+  EXPECT_EQ(stats.stagnant_cells, 0u);
+  EXPECT_NEAR(stats.max_reynolds,
+              segment_reynolds(v_expected, channel, water), 1e-9);
+  EXPECT_TRUE(stats.laminar());
+}
+
+TEST(FlowStats, ScalesLinearlyWithPressure) {
+  const Grid2D grid(21, 21, kPitch);
+  const CoolingNetwork net = make_straight_channels(grid);
+  const ChannelGeometry channel{kPitch, 200e-6};
+  const CoolantProperties water;
+  const FlowSolution sol = FlowSolver(net, channel, water).solve(1.0);
+  const FlowStats s1 = compute_flow_stats(net, sol, channel, water, 1000.0);
+  const FlowStats s2 = compute_flow_stats(net, sol, channel, water, 2000.0);
+  EXPECT_NEAR(s2.max_velocity, 2.0 * s1.max_velocity,
+              s2.max_velocity * 1e-9);
+  EXPECT_NEAR(s2.max_reynolds, 2.0 * s1.max_reynolds,
+              s2.max_reynolds * 1e-9);
+}
+
+TEST(FlowStats, BenchmarkPressuresStayLaminar) {
+  // The paper's model assumes laminar flow; at the Table 3 operating points
+  // (~10 kPa) the channels must be well below the transition.
+  const Grid2D grid(101, 101, kPitch);
+  const CoolingNetwork net = make_straight_channels(grid);
+  const ChannelGeometry channel{kPitch, 200e-6};
+  const CoolantProperties water;
+  const FlowSolution sol = FlowSolver(net, channel, water).solve(1.0);
+  const FlowStats stats =
+      compute_flow_stats(net, sol, channel, water, 15000.0);
+  EXPECT_TRUE(stats.laminar()) << "Re = " << stats.max_reynolds;
+}
+
+TEST(FlowStats, DeadEndCellsAreStagnant) {
+  const Grid2D grid(5, 9, kPitch);
+  CoolingNetwork net(grid, false);
+  for (int c = 0; c < 9; ++c) net.set_liquid(0, c);
+  // Dead-end stub hanging off the channel.
+  net.set_liquid(1, 4);
+  net.set_liquid(2, 4);
+  net.add_port({0, 0, Side::kWest, PortKind::kInlet});
+  net.add_port({0, 8, Side::kEast, PortKind::kOutlet});
+  const ChannelGeometry channel{kPitch, 200e-6};
+  const CoolantProperties water;
+  const FlowSolution sol = FlowSolver(net, channel, water).solve(1000.0);
+  const FlowStats stats = compute_flow_stats(net, sol, channel, water);
+  EXPECT_GE(stats.stagnant_cells, 1u);
+}
+
+TEST(NetworkStats, StraightChannelsCounts) {
+  const Grid2D grid(21, 21, kPitch);
+  const NetworkStats stats =
+      compute_network_stats(make_straight_channels(grid), 200e-6);
+  EXPECT_EQ(stats.liquid_cells, 11u * 21u);
+  EXPECT_EQ(stats.branch_cells, 0u);
+  EXPECT_EQ(stats.bend_cells, 0u);
+  EXPECT_EQ(stats.dead_end_cells, 0u);
+  // Interior cells of each row are straight.
+  EXPECT_EQ(stats.straight_cells, 11u * 19u);
+  EXPECT_EQ(stats.inlet_count, 11u);
+  EXPECT_EQ(stats.outlet_count, 11u);
+  // Side walls: each channel row is sealed top/bottom along its length plus
+  // two end caps... ends carry ports but are still wall-less liquid faces.
+  EXPECT_NEAR(stats.side_wall_area,
+              11.0 * (2 * 21 + 2) * kPitch * 200e-6, 1e-12);
+  EXPECT_NEAR(stats.liquid_fraction, 11.0 * 21.0 / 441.0, 1e-12);
+}
+
+TEST(NetworkStats, TreeHasBranchesAndBends) {
+  const Grid2D grid(21, 21, kPitch);
+  const NetworkStats stats = compute_network_stats(
+      make_tree_network(grid, make_uniform_layout(grid, 6, 12)), 200e-6);
+  EXPECT_GT(stats.branch_cells, 0u);
+  EXPECT_GT(stats.bend_cells, 0u);
+  EXPECT_EQ(stats.dead_end_cells, 0u);
+  EXPECT_GT(stats.inlet_count, 0u);
+}
+
+TEST(NetworkStats, TsvCountMatchesPattern) {
+  const Grid2D grid(21, 21, kPitch);
+  const NetworkStats stats =
+      compute_network_stats(CoolingNetwork(grid), 200e-6);
+  EXPECT_EQ(stats.tsv_cells, 10u * 10u);  // odd/odd cells
+  EXPECT_EQ(stats.liquid_cells, 0u);
+}
+
+TEST(ModulatedStraight, KeepsSelectedRowsOnly) {
+  const Grid2D grid(21, 21, kPitch);
+  std::vector<bool> enabled(11, false);
+  enabled[0] = enabled[5] = enabled[10] = true;
+  const CoolingNetwork net = make_modulated_straight(grid, enabled);
+  EXPECT_EQ(net.liquid_count(), 3u * 21u);
+  EXPECT_EQ(net.ports().size(), 6u);
+  EXPECT_TRUE(net.is_liquid(10, 3));
+  EXPECT_FALSE(net.is_liquid(2, 3));
+  EXPECT_THROW(make_modulated_straight(grid, std::vector<bool>(11, false)),
+               ContractError);
+  EXPECT_THROW(make_modulated_straight(grid, std::vector<bool>(7, true)),
+               ContractError);
+}
+
+TEST(ModulatedStraight, DensityProfileFollowsPower) {
+  const Grid2D grid(21, 21, kPitch);
+  PowerMap map(grid, 0.0);
+  // Heat concentrated in the top band.
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 21; ++c) map.at(r, c) = 1.0;
+  }
+  const std::vector<bool> profile = density_profile_from_power(map, 3);
+  EXPECT_EQ(std::count(profile.begin(), profile.end(), true), 3);
+  // The selected rows are in the hot band (channel rows 0, 1, 2 = rows 0,2,4).
+  EXPECT_TRUE(profile[0]);
+  EXPECT_TRUE(profile[1]);
+  EXPECT_TRUE(profile[2]);
+}
+
+}  // namespace
+}  // namespace lcn

@@ -1,0 +1,284 @@
+// Physics validation of the 4RM and 2RM thermal models (S5, S6, S7, S8):
+// global energy balance, monotonicity in P_sys, upstream/downstream
+// structure, 2RM-vs-4RM agreement, transient convergence to steady state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "network/generators.hpp"
+#include "thermal/model_2rm.hpp"
+#include "thermal/model_4rm.hpp"
+#include "thermal/transient.hpp"
+
+namespace lcn {
+namespace {
+
+constexpr double kPitch = 100e-6;
+
+CoolingProblem small_problem(int n = 21, int dies = 2,
+                             double channel_height = 200e-6,
+                             double watts = 2.0) {
+  CoolingProblem problem;
+  problem.grid = Grid2D(n, n, kPitch);
+  problem.stack = make_interlayer_stack(dies, channel_height);
+  for (int die = 0; die < dies; ++die) {
+    problem.source_power.emplace_back(problem.grid, watts / dies);
+  }
+  return problem;
+}
+
+std::vector<CoolingNetwork> straight_networks(const CoolingProblem& problem) {
+  return std::vector<CoolingNetwork>(
+      static_cast<std::size_t>(problem.stack.channel_count()),
+      make_straight_channels(problem.grid));
+}
+
+TEST(Thermal4RM, EnergyBalanceAdiabatic) {
+  const CoolingProblem problem = small_problem();
+  const Thermal4RM sim(problem, straight_networks(problem));
+  const AssembledThermal system = sim.assemble(2000.0);
+  const ThermalField field = solve_steady(system, 1e-11);
+  const double advected = advected_heat(system, field.temperatures);
+  // All injected power must leave through the coolant.
+  EXPECT_NEAR(advected, problem.total_power(), problem.total_power() * 1e-6);
+}
+
+TEST(Thermal4RM, TemperaturesAboveInlet) {
+  const CoolingProblem problem = small_problem();
+  const Thermal4RM sim(problem, straight_networks(problem));
+  const ThermalField field = sim.simulate(2000.0);
+  for (double t : field.temperatures) {
+    EXPECT_GT(t, problem.inlet_temperature - 1e-6);
+  }
+  EXPECT_GT(field.t_max, problem.inlet_temperature + 0.5);
+}
+
+TEST(Thermal4RM, PeakTemperatureDecreasesWithPressure) {
+  const CoolingProblem problem = small_problem();
+  const Thermal4RM sim(problem, straight_networks(problem));
+  double prev = 1e300;
+  for (double p : {500.0, 1000.0, 2000.0, 4000.0, 8000.0}) {
+    const double t_max = sim.simulate(p).t_max;
+    EXPECT_LT(t_max, prev) << "P=" << p;
+    prev = t_max;
+  }
+}
+
+TEST(Thermal4RM, DownstreamHotterThanUpstreamOnUniformPower) {
+  const CoolingProblem problem = small_problem();
+  const Thermal4RM sim(problem, straight_networks(problem));
+  const ThermalField field = sim.simulate(1000.0);
+  // Bottom source layer, center row: west (upstream) vs east (downstream).
+  const auto& map = field.source_maps[0];
+  const int n = field.map_cols;
+  const int row = 10;
+  const double west = map[static_cast<std::size_t>(row) * n + 1];
+  const double east = map[static_cast<std::size_t>(row) * n + (n - 2)];
+  EXPECT_GT(east, west + 0.01);
+}
+
+TEST(Thermal4RM, SystemFlowAndPumpingPower) {
+  const CoolingProblem problem = small_problem();
+  const Thermal4RM sim(problem, straight_networks(problem));
+  const double q = sim.system_flow(1000.0);
+  EXPECT_GT(q, 0.0);
+  EXPECT_NEAR(sim.pumping_power(1000.0), 1000.0 * q, 1000.0 * q * 1e-12);
+  EXPECT_NEAR(sim.pumping_power(2000.0), 4.0 * sim.pumping_power(1000.0),
+              sim.pumping_power(2000.0) * 1e-9);
+}
+
+TEST(Thermal4RM, HigherPowerRaisesTemperaturesProportionally) {
+  // The system is linear: doubling all power doubles (T - T_in).
+  const CoolingProblem p1 = small_problem(21, 2, 200e-6, 1.0);
+  const CoolingProblem p2 = small_problem(21, 2, 200e-6, 2.0);
+  const Thermal4RM sim1(p1, straight_networks(p1));
+  const Thermal4RM sim2(p2, straight_networks(p2));
+  const ThermalField f1 = sim1.simulate(1500.0);
+  const ThermalField f2 = sim2.simulate(1500.0);
+  EXPECT_NEAR(f2.t_max - 300.0, 2.0 * (f1.t_max - 300.0),
+              (f1.t_max - 300.0) * 1e-5);
+  EXPECT_NEAR(f2.delta_t, 2.0 * f1.delta_t, f1.delta_t * 1e-5 + 1e-9);
+}
+
+TEST(Thermal4RM, AmbientSinkLowersTemperatures) {
+  CoolingProblem adiabatic = small_problem();
+  CoolingProblem cooled = small_problem();
+  cooled.ambient_conductance = 1000.0;  // strong top-side sink
+  const Thermal4RM sim_a(adiabatic, straight_networks(adiabatic));
+  const Thermal4RM sim_c(cooled, straight_networks(cooled));
+  EXPECT_GT(sim_a.simulate(1000.0).t_max, sim_c.simulate(1000.0).t_max);
+}
+
+TEST(Thermal4RM, MetricsMatchMapExtremes) {
+  const CoolingProblem problem = small_problem();
+  const Thermal4RM sim(problem, straight_networks(problem));
+  const ThermalField field = sim.simulate(1000.0);
+  double t_max = 0.0;
+  double delta = 0.0;
+  for (const auto& map : field.source_maps) {
+    double lo = 1e300;
+    double hi = -1e300;
+    for (double t : map) {
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    t_max = std::max(t_max, hi);
+    delta = std::max(delta, hi - lo);
+  }
+  EXPECT_DOUBLE_EQ(field.t_max, t_max);
+  EXPECT_DOUBLE_EQ(field.delta_t, delta);
+  EXPECT_EQ(field.per_layer_delta.size(), field.source_maps.size());
+}
+
+TEST(Thermal2RM, EnergyBalanceAdiabatic) {
+  const CoolingProblem problem = small_problem();
+  const Thermal2RM sim(problem, straight_networks(problem), 3);
+  const AssembledThermal system = sim.assemble(2000.0);
+  const ThermalField field = solve_steady(system, 1e-11);
+  const double advected = advected_heat(system, field.temperatures);
+  EXPECT_NEAR(advected, problem.total_power(), problem.total_power() * 1e-6);
+}
+
+TEST(Thermal2RM, ProblemSizeShrinksQuadratically) {
+  const CoolingProblem problem = small_problem();
+  const Thermal2RM sim1(problem, straight_networks(problem), 1);
+  const Thermal2RM sim3(problem, straight_networks(problem), 3);
+  const Thermal2RM sim7(problem, straight_networks(problem), 7);
+  EXPECT_GT(sim1.node_count(), 8 * sim3.node_count() / 2);
+  EXPECT_GT(sim3.node_count(), sim7.node_count());
+  EXPECT_EQ(sim3.block_rows(), 7);
+  EXPECT_EQ(sim7.block_rows(), 3);
+}
+
+TEST(Thermal2RM, AgreesWith4RMWithinTolerance) {
+  const CoolingProblem problem = small_problem();
+  const auto nets = straight_networks(problem);
+  const Thermal4RM ref(problem, nets);
+  const ThermalField f4 = ref.simulate(2000.0);
+
+  for (int m : {1, 2, 3}) {
+    const Thermal2RM sim(problem, nets, m);
+    const ThermalField f2 = sim.simulate(2000.0);
+    // Block-average the 4RM bottom source map and compare node by node.
+    double worst = 0.0;
+    for (int br = 0; br < sim.block_rows(); ++br) {
+      for (int bc = 0; bc < sim.block_cols(); ++bc) {
+        double sum = 0.0;
+        int count = 0;
+        for (int r = br * m; r < std::min((br + 1) * m, f4.map_rows); ++r) {
+          for (int c = bc * m; c < std::min((bc + 1) * m, f4.map_cols); ++c) {
+            sum += f4.source_maps[0][static_cast<std::size_t>(r) *
+                                         f4.map_cols + c];
+            ++count;
+          }
+        }
+        const double t4 = sum / count;
+        const double t2 =
+            f2.source_maps[0][static_cast<std::size_t>(br) * sim.block_cols() +
+                              bc];
+        worst = std::max(worst, std::abs(t2 - t4) / t4);
+      }
+    }
+    // Paper Fig. 9(a): sub-percent average error for small thermal cells.
+    EXPECT_LT(worst, 0.02) << "m=" << m;
+  }
+}
+
+TEST(Thermal2RM, PeakTemperatureDecreasesWithPressure) {
+  const CoolingProblem problem = small_problem();
+  const Thermal2RM sim(problem, straight_networks(problem), 3);
+  double prev = 1e300;
+  for (double p : {500.0, 2000.0, 8000.0}) {
+    const double t_max = sim.simulate(p).t_max;
+    EXPECT_LT(t_max, prev);
+    prev = t_max;
+  }
+}
+
+TEST(Thermal2RM, ThreeDieStackWithTwoChannelLayers) {
+  const CoolingProblem problem = small_problem(21, 3, 200e-6, 3.0);
+  const Thermal2RM sim(problem, straight_networks(problem), 3);
+  const AssembledThermal system = sim.assemble(3000.0);
+  const ThermalField field = solve_steady(system, 1e-11);
+  EXPECT_EQ(field.source_maps.size(), 3u);
+  EXPECT_NEAR(advected_heat(system, field.temperatures),
+              problem.total_power(), problem.total_power() * 1e-6);
+}
+
+TEST(Thermal2RM, TreeNetworkEnergyBalance) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork tree =
+      make_tree_network(problem.grid, make_uniform_layout(problem.grid, 6, 12));
+  const Thermal2RM sim(problem, {tree}, 3);
+  const AssembledThermal system = sim.assemble(2000.0);
+  const ThermalField field = solve_steady(system, 1e-11);
+  EXPECT_NEAR(advected_heat(system, field.temperatures),
+              problem.total_power(), problem.total_power() * 1e-6);
+}
+
+TEST(Transient, ConvergesToSteadyState) {
+  const CoolingProblem problem = small_problem();
+  const Thermal4RM sim(problem, straight_networks(problem));
+  const AssembledThermal system = sim.assemble(2000.0);
+  const ThermalField steady = solve_steady(system);
+
+  TransientOptions options;
+  options.dt = 2e-3;
+  options.steps = 400;
+  std::vector<double> final_temps;
+  const auto samples = simulate_transient(
+      system, std::vector<double>(system.matrix.rows(), 300.0), options,
+      &final_temps);
+  ASSERT_EQ(samples.size(), 400u);
+  EXPECT_NEAR(samples.back().t_max, steady.t_max, 0.05);
+  // Monotone heating from a cold start.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_max, samples[i - 1].t_max - 1e-9);
+  }
+}
+
+TEST(Transient, ShortHorizonStaysBelowSteady) {
+  const CoolingProblem problem = small_problem();
+  const Thermal2RM sim(problem, straight_networks(problem), 3);
+  const AssembledThermal system = sim.assemble(2000.0);
+  const ThermalField steady = solve_steady(system);
+  TransientOptions options;
+  options.dt = 1e-4;
+  options.steps = 5;
+  const auto samples = simulate_transient(
+      system, std::vector<double>(system.matrix.rows(), 300.0), options);
+  EXPECT_LT(samples.back().t_max, steady.t_max);
+}
+
+// Property sweep: energy balance holds across pressures, channel heights and
+// thermal cell sizes.
+struct BalanceParam {
+  double p_sys;
+  double h_c;
+  int m;
+};
+
+class EnergyBalanceSweep : public ::testing::TestWithParam<BalanceParam> {};
+
+TEST_P(EnergyBalanceSweep, AdvectedHeatEqualsPower) {
+  const BalanceParam param = GetParam();
+  const CoolingProblem problem = small_problem(21, 2, param.h_c);
+  const auto nets = straight_networks(problem);
+  const Thermal2RM sim(problem, nets, param.m);
+  const AssembledThermal system = sim.assemble(param.p_sys);
+  const ThermalField field = solve_steady(system, 1e-12);
+  EXPECT_NEAR(advected_heat(system, field.temperatures),
+              problem.total_power(), problem.total_power() * 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnergyBalanceSweep,
+    ::testing::Values(BalanceParam{200.0, 200e-6, 1},
+                      BalanceParam{1000.0, 200e-6, 2},
+                      BalanceParam{5000.0, 200e-6, 4},
+                      BalanceParam{1000.0, 400e-6, 3},
+                      BalanceParam{20000.0, 400e-6, 3},
+                      BalanceParam{500.0, 100e-6, 5}));
+
+}  // namespace
+}  // namespace lcn
