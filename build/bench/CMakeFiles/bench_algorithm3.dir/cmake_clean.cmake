@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_algorithm3.dir/bench_algorithm3.cpp.o"
+  "CMakeFiles/bench_algorithm3.dir/bench_algorithm3.cpp.o.d"
+  "bench_algorithm3"
+  "bench_algorithm3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_algorithm3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

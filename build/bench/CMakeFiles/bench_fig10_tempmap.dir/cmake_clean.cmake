@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tempmap.dir/bench_fig10_tempmap.cpp.o"
+  "CMakeFiles/bench_fig10_tempmap.dir/bench_fig10_tempmap.cpp.o.d"
+  "bench_fig10_tempmap"
+  "bench_fig10_tempmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tempmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

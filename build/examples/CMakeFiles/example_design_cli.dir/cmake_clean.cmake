@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_cli.dir/design_cli.cpp.o"
+  "CMakeFiles/example_design_cli.dir/design_cli.cpp.o.d"
+  "example_design_cli"
+  "example_design_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_pumping_power.dir/design_pumping_power.cpp.o"
+  "CMakeFiles/example_design_pumping_power.dir/design_pumping_power.cpp.o.d"
+  "example_design_pumping_power"
+  "example_design_pumping_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_pumping_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_thermal_gradient.dir/design_thermal_gradient.cpp.o"
+  "CMakeFiles/example_design_thermal_gradient.dir/design_thermal_gradient.cpp.o.d"
+  "example_design_thermal_gradient"
+  "example_design_thermal_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_thermal_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_explore_topologies.dir/explore_topologies.cpp.o"
+  "CMakeFiles/example_explore_topologies.dir/explore_topologies.cpp.o.d"
+  "example_explore_topologies"
+  "example_explore_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_explore_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

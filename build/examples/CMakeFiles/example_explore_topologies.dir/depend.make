@@ -1,0 +1,2 @@
+# Empty dependencies file for example_explore_topologies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_from_files.dir/from_files.cpp.o"
+  "CMakeFiles/example_from_files.dir/from_files.cpp.o.d"
+  "example_from_files"
+  "example_from_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_from_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

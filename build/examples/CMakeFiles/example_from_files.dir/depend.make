@@ -1,0 +1,2 @@
+# Empty dependencies file for example_from_files.
+# This may be replaced when dependencies are built.

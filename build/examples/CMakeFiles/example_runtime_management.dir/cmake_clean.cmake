@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_runtime_management.dir/runtime_management.cpp.o"
+  "CMakeFiles/example_runtime_management.dir/runtime_management.cpp.o.d"
+  "example_runtime_management"
+  "example_runtime_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_runtime_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_runtime_management.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_transient_startup.dir/transient_startup.cpp.o"
+  "CMakeFiles/example_transient_startup.dir/transient_startup.cpp.o.d"
+  "example_transient_startup"
+  "example_transient_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_transient_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/assert.cpp" "src/CMakeFiles/lcn.dir/common/assert.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/common/assert.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/lcn.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/env.cpp" "src/CMakeFiles/lcn.dir/common/env.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/common/env.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/lcn.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/lcn.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/lcn.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/lcn.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/flow/flow_solver.cpp" "src/CMakeFiles/lcn.dir/flow/flow_solver.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/flow/flow_solver.cpp.o.d"
+  "/root/repo/src/flow/flow_stats.cpp" "src/CMakeFiles/lcn.dir/flow/flow_stats.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/flow/flow_stats.cpp.o.d"
+  "/root/repo/src/geom/benchmarks.cpp" "src/CMakeFiles/lcn.dir/geom/benchmarks.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/geom/benchmarks.cpp.o.d"
+  "/root/repo/src/geom/grid.cpp" "src/CMakeFiles/lcn.dir/geom/grid.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/geom/grid.cpp.o.d"
+  "/root/repo/src/geom/materials.cpp" "src/CMakeFiles/lcn.dir/geom/materials.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/geom/materials.cpp.o.d"
+  "/root/repo/src/geom/power_map.cpp" "src/CMakeFiles/lcn.dir/geom/power_map.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/geom/power_map.cpp.o.d"
+  "/root/repo/src/geom/problem_io.cpp" "src/CMakeFiles/lcn.dir/geom/problem_io.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/geom/problem_io.cpp.o.d"
+  "/root/repo/src/geom/stack.cpp" "src/CMakeFiles/lcn.dir/geom/stack.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/geom/stack.cpp.o.d"
+  "/root/repo/src/network/cooling_network.cpp" "src/CMakeFiles/lcn.dir/network/cooling_network.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/network/cooling_network.cpp.o.d"
+  "/root/repo/src/network/design_rules.cpp" "src/CMakeFiles/lcn.dir/network/design_rules.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/network/design_rules.cpp.o.d"
+  "/root/repo/src/network/generators.cpp" "src/CMakeFiles/lcn.dir/network/generators.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/network/generators.cpp.o.d"
+  "/root/repo/src/network/network_stats.cpp" "src/CMakeFiles/lcn.dir/network/network_stats.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/network/network_stats.cpp.o.d"
+  "/root/repo/src/opt/evaluator.cpp" "src/CMakeFiles/lcn.dir/opt/evaluator.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/opt/evaluator.cpp.o.d"
+  "/root/repo/src/opt/exhaustive.cpp" "src/CMakeFiles/lcn.dir/opt/exhaustive.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/opt/exhaustive.cpp.o.d"
+  "/root/repo/src/opt/pressure_search.cpp" "src/CMakeFiles/lcn.dir/opt/pressure_search.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/opt/pressure_search.cpp.o.d"
+  "/root/repo/src/opt/report.cpp" "src/CMakeFiles/lcn.dir/opt/report.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/opt/report.cpp.o.d"
+  "/root/repo/src/opt/runtime_flow.cpp" "src/CMakeFiles/lcn.dir/opt/runtime_flow.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/opt/runtime_flow.cpp.o.d"
+  "/root/repo/src/opt/sa.cpp" "src/CMakeFiles/lcn.dir/opt/sa.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/opt/sa.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/lcn.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/CMakeFiles/lcn.dir/sparse/dense.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/sparse/dense.cpp.o.d"
+  "/root/repo/src/sparse/gmres.cpp" "src/CMakeFiles/lcn.dir/sparse/gmres.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/sparse/gmres.cpp.o.d"
+  "/root/repo/src/sparse/ic0.cpp" "src/CMakeFiles/lcn.dir/sparse/ic0.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/sparse/ic0.cpp.o.d"
+  "/root/repo/src/sparse/preconditioner.cpp" "src/CMakeFiles/lcn.dir/sparse/preconditioner.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/sparse/preconditioner.cpp.o.d"
+  "/root/repo/src/sparse/solvers.cpp" "src/CMakeFiles/lcn.dir/sparse/solvers.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/sparse/solvers.cpp.o.d"
+  "/root/repo/src/thermal/field.cpp" "src/CMakeFiles/lcn.dir/thermal/field.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/thermal/field.cpp.o.d"
+  "/root/repo/src/thermal/image.cpp" "src/CMakeFiles/lcn.dir/thermal/image.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/thermal/image.cpp.o.d"
+  "/root/repo/src/thermal/model_2rm.cpp" "src/CMakeFiles/lcn.dir/thermal/model_2rm.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/thermal/model_2rm.cpp.o.d"
+  "/root/repo/src/thermal/model_4rm.cpp" "src/CMakeFiles/lcn.dir/thermal/model_4rm.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/thermal/model_4rm.cpp.o.d"
+  "/root/repo/src/thermal/temp_map.cpp" "src/CMakeFiles/lcn.dir/thermal/temp_map.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/thermal/temp_map.cpp.o.d"
+  "/root/repo/src/thermal/transient.cpp" "src/CMakeFiles/lcn.dir/thermal/transient.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/thermal/transient.cpp.o.d"
+  "/root/repo/src/thermal/validation.cpp" "src/CMakeFiles/lcn.dir/thermal/validation.cpp.o" "gcc" "src/CMakeFiles/lcn.dir/thermal/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/benchmarks_test.cpp" "tests/CMakeFiles/lcn_tests.dir/benchmarks_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/benchmarks_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/lcn_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/crosscheck_test.cpp" "tests/CMakeFiles/lcn_tests.dir/crosscheck_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/crosscheck_test.cpp.o.d"
+  "/root/repo/tests/exhaustive_test.cpp" "tests/CMakeFiles/lcn_tests.dir/exhaustive_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/exhaustive_test.cpp.o.d"
+  "/root/repo/tests/field_test.cpp" "tests/CMakeFiles/lcn_tests.dir/field_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/field_test.cpp.o.d"
+  "/root/repo/tests/flow_test.cpp" "tests/CMakeFiles/lcn_tests.dir/flow_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/flow_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/lcn_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/geom_test.cpp" "tests/CMakeFiles/lcn_tests.dir/geom_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/geom_test.cpp.o.d"
+  "/root/repo/tests/gmres_test.cpp" "tests/CMakeFiles/lcn_tests.dir/gmres_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/gmres_test.cpp.o.d"
+  "/root/repo/tests/ic0_test.cpp" "tests/CMakeFiles/lcn_tests.dir/ic0_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/ic0_test.cpp.o.d"
+  "/root/repo/tests/image_test.cpp" "tests/CMakeFiles/lcn_tests.dir/image_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/image_test.cpp.o.d"
+  "/root/repo/tests/misc_api_test.cpp" "tests/CMakeFiles/lcn_tests.dir/misc_api_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/misc_api_test.cpp.o.d"
+  "/root/repo/tests/network_test.cpp" "tests/CMakeFiles/lcn_tests.dir/network_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/network_test.cpp.o.d"
+  "/root/repo/tests/opt_test.cpp" "tests/CMakeFiles/lcn_tests.dir/opt_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/opt_test.cpp.o.d"
+  "/root/repo/tests/physics_property_test.cpp" "tests/CMakeFiles/lcn_tests.dir/physics_property_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/physics_property_test.cpp.o.d"
+  "/root/repo/tests/pressure_search_test.cpp" "tests/CMakeFiles/lcn_tests.dir/pressure_search_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/pressure_search_test.cpp.o.d"
+  "/root/repo/tests/problem_io_test.cpp" "tests/CMakeFiles/lcn_tests.dir/problem_io_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/problem_io_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/lcn_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/runtime_flow_test.cpp" "tests/CMakeFiles/lcn_tests.dir/runtime_flow_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/runtime_flow_test.cpp.o.d"
+  "/root/repo/tests/sparse_test.cpp" "tests/CMakeFiles/lcn_tests.dir/sparse_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/sparse_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/lcn_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/thermal_test.cpp" "tests/CMakeFiles/lcn_tests.dir/thermal_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/thermal_test.cpp.o.d"
+  "/root/repo/tests/validation_test.cpp" "tests/CMakeFiles/lcn_tests.dir/validation_test.cpp.o" "gcc" "tests/CMakeFiles/lcn_tests.dir/validation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
