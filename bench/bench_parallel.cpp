@@ -1,0 +1,172 @@
+// S1 — serial vs parallel hot-path comparison. Each phase (SpMV, 2RM
+// steady solve, 4RM assembly, a mini Problem-1 SA run) is timed at
+// LCN_THREADS=1 and at a parallel width, metrics are checked to agree with
+// the serial reference (the kernels are bit-identical by construction, so
+// the tolerance is far tighter than the 1e-8 acceptance bound), and every
+// measurement is appended to bench_results/BENCH_parallel.json.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "network/generators.hpp"
+#include "opt/sa.hpp"
+#include "thermal/model_2rm.hpp"
+#include "thermal/model_4rm.hpp"
+
+namespace {
+
+using namespace lcn;
+
+struct PhaseResult {
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+bool metrics_agree(const PhaseResult& serial, const PhaseResult& parallel,
+                   double rel_tol) {
+  if (serial.metrics.size() != parallel.metrics.size()) return false;
+  for (std::size_t i = 0; i < serial.metrics.size(); ++i) {
+    const double a = serial.metrics[i].second;
+    const double b = parallel.metrics[i].second;
+    if (std::abs(a - b) > rel_tol * std::max(1.0, std::abs(a))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Parallel hot-path engine — serial vs parallel",
+                    "DESIGN.md §S1 (serial-equivalence contract)");
+  const bool fast = env_flag("LCN_FAST");
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t wide = std::max<std::size_t>(
+      2, static_cast<std::size_t>(env_double("LCN_THREADS", 4)));
+  std::printf("hardware threads %zu, parallel width %zu%s\n\n", hw, wide,
+              hw == 1 ? " (single-core host: speedups not expected)" : "");
+
+  const BenchmarkCase bench = make_iccad_case(1);
+  const CoolingNetwork net = make_tree_network(
+      bench.problem.grid, make_uniform_layout(bench.problem.grid, 30, 64));
+
+  const int spmv_reps = fast ? 40 : 400;
+  const int solve_reps = fast ? 1 : 3;
+
+  // Each phase runs under the currently configured pool width and reports
+  // (wall seconds, headline metrics). Metrics must match across widths.
+  struct Phase {
+    const char* name;
+    PhaseResult (*run)(const BenchmarkCase&, const CoolingNetwork&, int);
+    int reps;
+  };
+  const std::vector<Phase> phases = {
+      {"spmv_2rm",
+       [](const BenchmarkCase& b, const CoolingNetwork& n, int reps) {
+         const Thermal2RM sim(b.problem, {n}, 2);
+         const sparse::CsrMatrix a = sim.assemble(5000.0).matrix;
+         sparse::Vector x(a.cols());
+         for (std::size_t i = 0; i < x.size(); ++i) {
+           x[i] = 1.0 + 1e-3 * static_cast<double>(i % 97);
+         }
+         sparse::Vector y(a.rows());
+         PhaseResult out;
+         WallTimer timer;
+         double checksum = 0.0;
+         for (int rep = 0; rep < reps; ++rep) {
+           a.multiply(x, y);
+           checksum += y[y.size() / 2];
+         }
+         out.seconds = timer.seconds();
+         out.metrics = {{"checksum", checksum},
+                        {"nnz", static_cast<double>(a.nnz())}};
+         return out;
+       },
+       spmv_reps},
+      {"solve_2rm",
+       [](const BenchmarkCase& b, const CoolingNetwork& n, int reps) {
+         const Thermal2RM sim(b.problem, {n}, 4);
+         PhaseResult out;
+         WallTimer timer;
+         ThermalField field;
+         for (int rep = 0; rep < reps; ++rep) field = sim.simulate(5000.0);
+         out.seconds = timer.seconds();
+         out.metrics = {{"t_max_k", field.t_max},
+                        {"delta_t_k", field.delta_t}};
+         return out;
+       },
+       solve_reps},
+      {"assemble_4rm",
+       [](const BenchmarkCase& b, const CoolingNetwork& n, int reps) {
+         const Thermal4RM sim(b.problem, {n});
+         PhaseResult out;
+         WallTimer timer;
+         double nnz = 0.0;
+         double checksum = 0.0;
+         for (int rep = 0; rep < reps; ++rep) {
+           const AssembledThermal system = sim.assemble(5000.0);
+           nnz = static_cast<double>(system.matrix.nnz());
+           checksum = system.matrix.values().front() +
+                      system.matrix.values().back();
+         }
+         out.seconds = timer.seconds();
+         out.metrics = {{"nnz", nnz}, {"checksum", checksum}};
+         return out;
+       },
+       solve_reps},
+      {"sa_mini_p1",
+       [](const BenchmarkCase& b, const CoolingNetwork&, int) {
+         TreeTopologyOptimizer opt(b, DesignObjective::kPumpingPower, 0xdac17u);
+         const DesignOutcome outcome = opt.run(default_p1_stages(0.08));
+         PhaseResult out;
+         out.seconds = outcome.seconds;
+         out.metrics = {{"feasible", outcome.feasible ? 1.0 : 0.0},
+                        {"p_sys_pa", outcome.eval.p_sys},
+                        {"t_max_k", outcome.eval.at_p.t_max},
+                        {"delta_t_k", outcome.eval.at_p.delta_t},
+                        {"w_pump_w", outcome.eval.w_pump}};
+         return out;
+       },
+       1}};
+
+  TextTable table({"phase", "serial (s)", strfmt("x%zu (s)", wide), "speedup",
+                   "metrics"});
+  bool all_agree = true;
+  for (const Phase& phase : phases) {
+    PhaseResult serial, parallel;
+    for (const std::size_t threads : {std::size_t{1}, wide}) {
+      set_global_pool_threads(threads);
+      const instrument::Snapshot before = instrument::snapshot();
+      const PhaseResult result = phase.run(bench, net, phase.reps);
+      benchutil::PerfRecord record;
+      record.bench = "bench_parallel";
+      record.config = phase.name;
+      record.threads = threads;
+      record.seconds = result.seconds;
+      record.metrics = result.metrics;
+      record.counters = instrument::delta(before, instrument::snapshot());
+      benchutil::append_perf_record(record);
+      (threads == 1 ? serial : parallel) = result;
+    }
+    const bool agree = metrics_agree(serial, parallel, 1e-8);
+    all_agree = all_agree && agree;
+    table.add_row({phase.name, cell(serial.seconds, 3),
+                   cell(parallel.seconds, 3),
+                   parallel.seconds > 0.0
+                       ? strfmt("%.2fx", serial.seconds / parallel.seconds)
+                       : cell_na(),
+                   agree ? "match" : "MISMATCH"});
+  }
+  set_global_pool_threads(0);  // back to the LCN_THREADS / hardware default
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("serial/parallel metric agreement: %s (tolerance 1e-8)\n",
+              all_agree ? "PASS" : "FAIL");
+  return all_agree ? 0 : 1;
+}

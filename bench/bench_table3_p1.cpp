@@ -8,6 +8,7 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "opt/sa.hpp"
 
 int main() {
@@ -54,7 +55,21 @@ int main() {
 
     TreeTopologyOptimizer opt(bench, DesignObjective::kPumpingPower,
                               0xdac17u + static_cast<std::uint64_t>(id));
+    const instrument::Snapshot before = instrument::snapshot();
     const DesignOutcome ours = opt.run(default_p1_stages(scale));
+    benchutil::PerfRecord perf;
+    perf.bench = "bench_table3_p1";
+    perf.config = strfmt("case%d/sa", id);
+    perf.threads = global_pool_threads();
+    perf.seconds = ours.seconds;
+    perf.metrics = {{"feasible", ours.feasible ? 1.0 : 0.0},
+                    {"p_sys_pa", ours.eval.p_sys},
+                    {"t_max_k", ours.eval.at_p.t_max},
+                    {"delta_t_k", ours.eval.at_p.delta_t},
+                    {"w_pump_w", ours.eval.w_pump},
+                    {"evaluations", static_cast<double>(ours.evaluations)}};
+    perf.counters = instrument::delta(before, instrument::snapshot());
+    benchutil::append_perf_record(perf);
     std::string saving = "-";
     if (ours.feasible && base.feasible) {
       saving = strfmt("%.1f%%", 100.0 * (1.0 - ours.eval.w_pump /

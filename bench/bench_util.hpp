@@ -11,12 +11,15 @@
 //                  ./bench_results/)
 #pragma once
 
+#include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/csv.hpp"
 #include "common/env.hpp"
+#include "common/instrument.hpp"
 #include "common/strings.hpp"
 
 namespace lcn::benchutil {
@@ -49,6 +52,46 @@ inline void maybe_save_csv(const CsvWriter& csv, const std::string& name) {
   } catch (...) {
     // CSV side outputs are best-effort.
   }
+}
+
+/// One machine-readable perf measurement (README §Bench, DESIGN.md §S1):
+/// a bench phase run at a given thread count, its wall time, the headline
+/// metrics it produced, and the solver counters it consumed.
+struct PerfRecord {
+  std::string bench;   ///< binary name, e.g. "bench_table3_p1"
+  std::string config;  ///< phase/workload label, e.g. "case1/serial"
+  std::size_t threads = 1;
+  double seconds = 0.0;
+  /// Headline result values (t_max, delta_t, w_pump, speedup, ...).
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Counter delta covering exactly this measurement.
+  instrument::Snapshot counters;
+};
+
+/// Append one JSON line to bench_results/BENCH_parallel.json (JSON-lines:
+/// one self-contained object per record, so repeated bench runs accumulate a
+/// perf trajectory). Best-effort; suppressed by LCN_NO_CSV alongside CSVs.
+inline void append_perf_record(const PerfRecord& record) {
+  if (env_flag("LCN_NO_CSV")) return;
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) return;
+  std::FILE* out = std::fopen("bench_results/BENCH_parallel.json", "a");
+  if (out == nullptr) return;
+  std::string metrics;
+  for (const auto& [name, value] : record.metrics) {
+    metrics += strfmt("%s\"%s\": %.9g", metrics.empty() ? "" : ", ",
+                      name.c_str(), value);
+  }
+  std::fprintf(out,
+               "{\"bench\": \"%s\", \"config\": \"%s\", \"threads\": %zu, "
+               "\"seconds\": %.6f, \"metrics\": {%s}, \"counters\": %s}\n",
+               record.bench.c_str(), record.config.c_str(), record.threads,
+               record.seconds, metrics.c_str(),
+               record.counters.json().c_str());
+  std::fclose(out);
+  std::printf("  [perf: bench_results/BENCH_parallel.json %s/%s]\n",
+              record.bench.c_str(), record.config.c_str());
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {

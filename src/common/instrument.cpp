@@ -1,0 +1,163 @@
+#include "common/instrument.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace lcn::instrument {
+
+namespace {
+
+struct Counters {
+  std::atomic<std::uint64_t> spmv_count{0};
+  std::atomic<std::uint64_t> spmv_nnz{0};
+  std::atomic<std::uint64_t> cg_solves{0};
+  std::atomic<std::uint64_t> cg_iterations{0};
+  std::atomic<std::uint64_t> bicgstab_solves{0};
+  std::atomic<std::uint64_t> bicgstab_iterations{0};
+  std::atomic<std::uint64_t> gmres_solves{0};
+  std::atomic<std::uint64_t> gmres_iterations{0};
+  std::atomic<std::uint64_t> assemblies{0};
+  std::atomic<std::uint64_t> steady_solves{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> assembly_micros{0};
+  std::atomic<std::uint64_t> solve_micros{0};
+};
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+std::uint64_t micros(double seconds) {
+  return seconds > 0.0 ? static_cast<std::uint64_t>(std::llround(seconds * 1e6))
+                       : 0;
+}
+
+}  // namespace
+
+void add_spmv(std::uint64_t nnz) {
+  counters().spmv_count.fetch_add(1, kRelaxed);
+  counters().spmv_nnz.fetch_add(nnz, kRelaxed);
+}
+
+void add_cg(std::uint64_t iterations) {
+  counters().cg_solves.fetch_add(1, kRelaxed);
+  counters().cg_iterations.fetch_add(iterations, kRelaxed);
+}
+
+void add_bicgstab(std::uint64_t iterations) {
+  counters().bicgstab_solves.fetch_add(1, kRelaxed);
+  counters().bicgstab_iterations.fetch_add(iterations, kRelaxed);
+}
+
+void add_gmres(std::uint64_t iterations) {
+  counters().gmres_solves.fetch_add(1, kRelaxed);
+  counters().gmres_iterations.fetch_add(iterations, kRelaxed);
+}
+
+void add_assembly(double seconds) {
+  counters().assemblies.fetch_add(1, kRelaxed);
+  counters().assembly_micros.fetch_add(micros(seconds), kRelaxed);
+}
+
+void add_steady_solve(double seconds) {
+  counters().steady_solves.fetch_add(1, kRelaxed);
+  counters().solve_micros.fetch_add(micros(seconds), kRelaxed);
+}
+
+void add_cache_hit() { counters().cache_hits.fetch_add(1, kRelaxed); }
+void add_cache_miss() { counters().cache_misses.fetch_add(1, kRelaxed); }
+
+Snapshot snapshot() {
+  const Counters& c = counters();
+  Snapshot s;
+  s.spmv_count = c.spmv_count.load(kRelaxed);
+  s.spmv_nnz = c.spmv_nnz.load(kRelaxed);
+  s.cg_solves = c.cg_solves.load(kRelaxed);
+  s.cg_iterations = c.cg_iterations.load(kRelaxed);
+  s.bicgstab_solves = c.bicgstab_solves.load(kRelaxed);
+  s.bicgstab_iterations = c.bicgstab_iterations.load(kRelaxed);
+  s.gmres_solves = c.gmres_solves.load(kRelaxed);
+  s.gmres_iterations = c.gmres_iterations.load(kRelaxed);
+  s.assemblies = c.assemblies.load(kRelaxed);
+  s.steady_solves = c.steady_solves.load(kRelaxed);
+  s.cache_hits = c.cache_hits.load(kRelaxed);
+  s.cache_misses = c.cache_misses.load(kRelaxed);
+  s.assembly_micros = c.assembly_micros.load(kRelaxed);
+  s.solve_micros = c.solve_micros.load(kRelaxed);
+  return s;
+}
+
+Snapshot delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot d;
+  d.spmv_count = after.spmv_count - before.spmv_count;
+  d.spmv_nnz = after.spmv_nnz - before.spmv_nnz;
+  d.cg_solves = after.cg_solves - before.cg_solves;
+  d.cg_iterations = after.cg_iterations - before.cg_iterations;
+  d.bicgstab_solves = after.bicgstab_solves - before.bicgstab_solves;
+  d.bicgstab_iterations = after.bicgstab_iterations - before.bicgstab_iterations;
+  d.gmres_solves = after.gmres_solves - before.gmres_solves;
+  d.gmres_iterations = after.gmres_iterations - before.gmres_iterations;
+  d.assemblies = after.assemblies - before.assemblies;
+  d.steady_solves = after.steady_solves - before.steady_solves;
+  d.cache_hits = after.cache_hits - before.cache_hits;
+  d.cache_misses = after.cache_misses - before.cache_misses;
+  d.assembly_micros = after.assembly_micros - before.assembly_micros;
+  d.solve_micros = after.solve_micros - before.solve_micros;
+  return d;
+}
+
+void reset() {
+  Counters& c = counters();
+  c.spmv_count.store(0, kRelaxed);
+  c.spmv_nnz.store(0, kRelaxed);
+  c.cg_solves.store(0, kRelaxed);
+  c.cg_iterations.store(0, kRelaxed);
+  c.bicgstab_solves.store(0, kRelaxed);
+  c.bicgstab_iterations.store(0, kRelaxed);
+  c.gmres_solves.store(0, kRelaxed);
+  c.gmres_iterations.store(0, kRelaxed);
+  c.assemblies.store(0, kRelaxed);
+  c.steady_solves.store(0, kRelaxed);
+  c.cache_hits.store(0, kRelaxed);
+  c.cache_misses.store(0, kRelaxed);
+  c.assembly_micros.store(0, kRelaxed);
+  c.solve_micros.store(0, kRelaxed);
+}
+
+double Snapshot::cache_hit_rate() const {
+  const std::uint64_t total = cache_hits + cache_misses;
+  return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+}
+
+std::string Snapshot::json() const {
+  return strfmt(
+      "{\"spmv_count\":%llu,\"spmv_nnz\":%llu,"
+      "\"cg_solves\":%llu,\"cg_iterations\":%llu,"
+      "\"bicgstab_solves\":%llu,\"bicgstab_iterations\":%llu,"
+      "\"gmres_solves\":%llu,\"gmres_iterations\":%llu,"
+      "\"assemblies\":%llu,\"steady_solves\":%llu,"
+      "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"cache_hit_rate\":%.4f,"
+      "\"assembly_seconds\":%.6f,\"solve_seconds\":%.6f}",
+      static_cast<unsigned long long>(spmv_count),
+      static_cast<unsigned long long>(spmv_nnz),
+      static_cast<unsigned long long>(cg_solves),
+      static_cast<unsigned long long>(cg_iterations),
+      static_cast<unsigned long long>(bicgstab_solves),
+      static_cast<unsigned long long>(bicgstab_iterations),
+      static_cast<unsigned long long>(gmres_solves),
+      static_cast<unsigned long long>(gmres_iterations),
+      static_cast<unsigned long long>(assemblies),
+      static_cast<unsigned long long>(steady_solves),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), cache_hit_rate(),
+      assembly_micros * 1e-6, solve_micros * 1e-6);
+}
+
+}  // namespace lcn::instrument

@@ -1,0 +1,52 @@
+// Lightweight process-wide solver instrumentation (DESIGN.md §S1).
+//
+// The hot numerical paths (SpMV, Krylov solvers, 4RM/2RM assembly, the SA
+// evaluator cache) bump relaxed atomic counters; benches snapshot them and
+// emit machine-readable perf records (bench_results/BENCH_parallel.json) so
+// the perf trajectory of serial vs parallel configurations is tracked over
+// time. Counting costs one relaxed atomic add per *kernel invocation* (not
+// per element), so the overhead is far below measurement noise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lcn::instrument {
+
+/// Point-in-time copy of every counter. `json()` renders a flat JSON object
+/// (the "counters" field of the BENCH_parallel.json schema, README §Bench).
+struct Snapshot {
+  std::uint64_t spmv_count = 0;          ///< CsrMatrix::multiply calls
+  std::uint64_t spmv_nnz = 0;            ///< nonzeros streamed by SpMV
+  std::uint64_t cg_solves = 0;
+  std::uint64_t cg_iterations = 0;
+  std::uint64_t bicgstab_solves = 0;
+  std::uint64_t bicgstab_iterations = 0;
+  std::uint64_t gmres_solves = 0;
+  std::uint64_t gmres_iterations = 0;
+  std::uint64_t assemblies = 0;          ///< 4RM/2RM system assemblies
+  std::uint64_t steady_solves = 0;
+  std::uint64_t cache_hits = 0;          ///< SA evaluator cache
+  std::uint64_t cache_misses = 0;
+  std::uint64_t assembly_micros = 0;     ///< wall time in assemble()
+  std::uint64_t solve_micros = 0;        ///< wall time in solve_steady()
+
+  double cache_hit_rate() const;
+  std::string json() const;
+};
+
+void add_spmv(std::uint64_t nnz);
+void add_cg(std::uint64_t iterations);
+void add_bicgstab(std::uint64_t iterations);
+void add_gmres(std::uint64_t iterations);
+void add_assembly(double seconds);
+void add_steady_solve(double seconds);
+void add_cache_hit();
+void add_cache_miss();
+
+Snapshot snapshot();
+/// Difference of two snapshots (per-phase accounting in benches).
+Snapshot delta(const Snapshot& before, const Snapshot& after);
+void reset();
+
+}  // namespace lcn::instrument

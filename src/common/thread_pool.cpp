@@ -43,6 +43,9 @@ void ThreadPool::worker_loop() {
 }
 
 namespace {
+
+thread_local bool t_in_task = false;
+
 // Shared by the caller and all pool shards; owned via shared_ptr so shards
 // that dequeue after the caller has already finished stay valid.
 struct ForState {
@@ -58,9 +61,14 @@ struct ForState {
   std::condition_variable done_cv;
 
   void drain() {
+    const bool was_in_task = t_in_task;
+    t_in_task = true;
     for (;;) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= count) return;
+      if (i >= count) {
+        t_in_task = was_in_task;
+        return;
+      }
       try {
         fn(i);
       } catch (...) {
@@ -79,7 +87,11 @@ struct ForState {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (count == 1 || workers_.size() == 1) {
+  // Run inline when fanning out cannot help: trivial counts, a single
+  // worker, or a nested call from inside another parallel_for task (the
+  // outer loop already owns the pool; queueing nested shards would only add
+  // contention).
+  if (count == 1 || workers_.size() == 1 || t_in_task) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -102,9 +114,38 @@ void ThreadPool::parallel_for(std::size_t count,
   if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
-ThreadPool& global_pool() {
-  static ThreadPool pool(static_cast<std::size_t>(env_int("LCN_THREADS", 0)));
-  return pool;
+bool ThreadPool::in_task() { return t_in_task; }
+
+namespace {
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::atomic<ThreadPool*> g_pool_ptr{nullptr};
+
+std::size_t default_pool_threads() {
+  return static_cast<std::size_t>(env_int("LCN_THREADS", 0));
 }
+}  // namespace
+
+ThreadPool& global_pool() {
+  ThreadPool* pool = g_pool_ptr.load(std::memory_order_acquire);
+  if (pool != nullptr) return *pool;
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(default_pool_threads());
+    g_pool_ptr.store(g_pool.get(), std::memory_order_release);
+  }
+  return *g_pool;
+}
+
+void set_global_pool_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool_ptr.store(nullptr, std::memory_order_release);
+  g_pool.reset();  // joins the old workers
+  g_pool = std::make_unique<ThreadPool>(
+      threads != 0 ? threads : default_pool_threads());
+  g_pool_ptr.store(g_pool.get(), std::memory_order_release);
+}
+
+std::size_t global_pool_threads() { return global_pool().size(); }
 
 }  // namespace lcn

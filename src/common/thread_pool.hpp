@@ -30,6 +30,12 @@ class ThreadPool {
   /// Exceptions from tasks are captured and the first one is rethrown.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// True while the calling thread is executing a parallel_for task (on any
+  /// pool). Data-parallel kernels check this to stay serial when they are
+  /// already inside an outer parallel region (e.g. SpMV inside an SA
+  /// neighbor evaluation), avoiding oversubscription.
+  static bool in_task();
+
  private:
   void worker_loop();
 
@@ -40,7 +46,17 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Pool shared by the optimizer; sized by LCN_THREADS (default: all cores).
+/// Pool shared by the optimizer and the parallel numerical kernels; sized by
+/// LCN_THREADS (default: all cores; 1 keeps every kernel on the legacy
+/// serial path).
 ThreadPool& global_pool();
+
+/// Rebuild the global pool with `threads` workers (0 = LCN_THREADS/default).
+/// Must not be called while pool tasks are in flight; used by tests and
+/// benches to compare thread counts within one process.
+void set_global_pool_threads(std::size_t threads);
+
+/// Worker count of the global pool (creates it on first use).
+std::size_t global_pool_threads();
 
 }  // namespace lcn

@@ -149,4 +149,27 @@ CoolingNetwork CoolingNetwork::from_text(const std::string& text) {
   return net;
 }
 
+std::uint64_t CoolingNetwork::content_hash() const {
+  // FNV-1a over the canonical content; cheap (one pass over the cell map)
+  // relative to even a single flow solve.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(grid_.rows()));
+  mix(static_cast<std::uint64_t>(grid_.cols()));
+  for (const CellKind kind : cells_) mix(static_cast<std::uint64_t>(kind));
+  mix(ports_.size());
+  for (const Port& port : ports_) {
+    mix(static_cast<std::uint64_t>(port.row));
+    mix(static_cast<std::uint64_t>(port.col));
+    mix(static_cast<std::uint64_t>(port.side));
+    mix(static_cast<std::uint64_t>(port.kind));
+  }
+  return h;
+}
+
 }  // namespace lcn

@@ -4,6 +4,7 @@
 // searches over.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,11 @@ class CoolingNetwork {
   /// Human-readable cell map (rows of S/T/L characters) + port list.
   std::string to_text() const;
   static CoolingNetwork from_text(const std::string& text);
+
+  /// 64-bit content hash over grid dimensions, cell kinds, and ports.
+  /// Networks that compare equal hash equal; used as the evaluator-cache
+  /// key so repeated SA probes of an identical design never re-solve.
+  std::uint64_t content_hash() const;
 
   friend bool operator==(const CoolingNetwork&, const CoolingNetwork&) = default;
 

@@ -88,6 +88,7 @@ TreeTopologyOptimizer::TreeTopologyOptimizer(const BenchmarkCase& bench,
   // for the metrics reported.
   search_options_.rel_precision = 1e-2;
   search_options_.max_probes = 60;
+  problem_fp_ = problem_fingerprint(bench_.problem);
 }
 
 CoolingNetwork TreeTopologyOptimizer::realize(const TreeLayout& layout,
@@ -107,14 +108,22 @@ EvalResult TreeTopologyOptimizer::evaluate_network(
   if (!check_design_rules(network, rules).ok()) {
     return EvalResult::infeasible_result();
   }
+  const EvalCacheKey key = make_eval_key(
+      problem_fp_, network, sim,
+      objective_ == DesignObjective::kPumpingPower ? EvalMode::kFullP1
+                                                   : EvalMode::kFullP2);
+  if (const auto cached = cache_.find(key)) return *cached;
+  EvalResult result;
   try {
     SystemEvaluator eval(bench_.problem, network, sim);
-    return objective_ == DesignObjective::kPumpingPower
-               ? evaluate_p1(eval, constraints_, search_options_)
-               : evaluate_p2(eval, constraints_, search_options_);
+    result = objective_ == DesignObjective::kPumpingPower
+                 ? evaluate_p1(eval, constraints_, search_options_)
+                 : evaluate_p2(eval, constraints_, search_options_);
   } catch (const RuntimeError&) {
-    return EvalResult::infeasible_result();
+    result = EvalResult::infeasible_result();
   }
+  cache_.store(key, result);
+  return result;
 }
 
 TreeLayout TreeTopologyOptimizer::initial_layout() const {
@@ -239,28 +248,46 @@ DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
       if (!check_design_rules(net, rules).ok()) {
         return EvalResult::infeasible_result();
       }
+      // SA pools frequently regenerate layouts seen a few iterations ago;
+      // identical (network, model, mode, pressure) probes hit the cache.
+      EvalMode mode;
+      double key_pressure = 0.0;
+      if (stage.fixed_pressure_cost) {
+        mode = EvalMode::kFixedPressure;
+        key_pressure = fixed_pressure;
+      } else if (objective_ == DesignObjective::kPumpingPower) {
+        mode = EvalMode::kFullP1;
+      } else if (stage.group_size > 1 && !leader) {
+        mode = EvalMode::kP2Follower;
+        key_pressure = group_pressure;
+      } else {
+        mode = EvalMode::kFullP2;
+      }
+      const EvalCacheKey key =
+          make_eval_key(problem_fp_, net, stage.sim, mode, key_pressure);
+      if (const auto cached = cache_.find(key)) return *cached;
+      EvalResult result;
       try {
         SystemEvaluator eval(bench_.problem, net, stage.sim);
         if (stage.fixed_pressure_cost) {
           // ΔT at a fixed pressure: one simulation (§4.4 stage 1).
-          EvalResult out;
-          out.feasible = true;
-          out.p_sys = fixed_pressure;
-          out.w_pump = eval.pumping_power(fixed_pressure);
-          out.at_p = eval.probe(fixed_pressure);
-          out.score = out.at_p.delta_t;
-          return out;
+          result.feasible = true;
+          result.p_sys = fixed_pressure;
+          result.w_pump = eval.pumping_power(fixed_pressure);
+          result.at_p = eval.probe(fixed_pressure);
+          result.score = result.at_p.delta_t;
+        } else if (objective_ == DesignObjective::kPumpingPower) {
+          result = evaluate_p1(eval, constraints_, search_options_);
+        } else if (stage.group_size > 1 && !leader) {
+          result = evaluate_p2_at(eval, constraints_, group_pressure);
+        } else {
+          result = evaluate_p2(eval, constraints_, search_options_);
         }
-        if (objective_ == DesignObjective::kPumpingPower) {
-          return evaluate_p1(eval, constraints_, search_options_);
-        }
-        if (stage.group_size > 1 && !leader) {
-          return evaluate_p2_at(eval, constraints_, group_pressure);
-        }
-        return evaluate_p2(eval, constraints_, search_options_);
       } catch (const RuntimeError&) {
-        return EvalResult::infeasible_result();
+        result = EvalResult::infeasible_result();
       }
+      cache_.store(key, result);
+      return result;
     };
 
     // Multi-round SA; rounds differ only in the random seed (§4.4).
@@ -272,6 +299,10 @@ DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
 
     for (int round = 0; round < stage.rounds; ++round) {
       Rng round_rng = rng.fork();
+      // Root of the per-neighbor streams: every (round, iteration, neighbor)
+      // triple gets an independent rng derived below, so the trajectory is
+      // identical no matter how many threads score the pool.
+      const std::uint64_t round_key = round_rng.next_u64();
       TreeLayout state = incumbent;
       EvalResult state_eval = cost_of(state, /*leader=*/true);
       ++outcome.evaluations;
@@ -294,15 +325,18 @@ DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
         const bool leader =
             stage.group_size <= 1 || iter % stage.group_size == 0;
 
-        // Generate and score the neighbor pool (evaluated concurrently; the
-        // paper scores 64 neighbors at once on an 80-core server).
-        std::vector<TreeLayout> pool;
-        pool.reserve(static_cast<std::size_t>(stage.neighbors));
-        for (int k = 0; k < stage.neighbors; ++k) {
-          pool.push_back(mutate(state, stage.step, round_rng));
-        }
+        // Generate and score the neighbor pool concurrently (the paper
+        // scores 64 neighbors at once on an 80-core server). Each neighbor
+        // mutates under its own rng stream keyed by (round, iteration,
+        // neighbor index), so the pool — and hence the accepted-move
+        // sequence — does not depend on evaluation order or thread count.
+        std::vector<TreeLayout> pool(static_cast<std::size_t>(stage.neighbors));
         std::vector<EvalResult> scores(pool.size());
         global_pool().parallel_for(pool.size(), [&](std::size_t k) {
+          SplitMix64 sm(round_key ^
+                        (static_cast<std::uint64_t>(iter) << 20) ^ k);
+          Rng neighbor_rng(sm.next());
+          pool[k] = mutate(state, stage.step, neighbor_rng);
           scores[k] = cost_of(pool[k], leader);
         });
         outcome.evaluations += pool.size();
@@ -367,6 +401,8 @@ DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
   ++outcome.evaluations;
   outcome.feasible = outcome.eval.feasible;
   outcome.seconds = timer.seconds();
+  outcome.cache_hits = static_cast<std::size_t>(cache_.hits());
+  outcome.cache_misses = static_cast<std::size_t>(cache_.misses());
   return outcome;
 }
 

@@ -21,6 +21,7 @@
 
 #include "geom/benchmarks.hpp"
 #include "network/generators.hpp"
+#include "opt/eval_cache.hpp"
 #include "opt/evaluator.hpp"
 
 namespace lcn {
@@ -64,7 +65,9 @@ struct DesignOutcome {
   int direction = 0;       ///< D4 code
   EvalResult eval;         ///< final sign-off evaluation
   double seconds = 0.0;
-  std::size_t evaluations = 0;  ///< candidate networks scored
+  std::size_t evaluations = 0;   ///< candidate networks scored
+  std::size_t cache_hits = 0;    ///< evaluator-cache hits over the run
+  std::size_t cache_misses = 0;  ///< evaluator-cache misses over the run
 };
 
 class TreeTopologyOptimizer {
@@ -86,6 +89,10 @@ class TreeTopologyOptimizer {
 
   const DesignConstraints& constraints() const { return constraints_; }
 
+  /// The run's evaluator cache (DESIGN.md §S10); exposed for tests and
+  /// bench instrumentation.
+  const EvaluatorCache& cache() const { return cache_; }
+
  private:
   TreeLayout initial_layout() const;
   TreeLayout mutate(const TreeLayout& layout, int step, Rng& rng) const;
@@ -97,6 +104,8 @@ class TreeTopologyOptimizer {
   DesignConstraints constraints_;
   std::uint64_t seed_;
   PressureSearchOptions search_options_;
+  std::uint64_t problem_fp_ = 0;
+  mutable EvaluatorCache cache_;
 };
 
 struct BaselineOutcome {

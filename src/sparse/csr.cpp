@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/instrument.hpp"
+#include "common/thread_pool.hpp"
+#include "sparse/parallel.hpp"
 
 namespace lcn::sparse {
 
@@ -23,9 +26,9 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
               "row_ptr must terminate at nnz");
 }
 
-void CsrMatrix::multiply(const Vector& x, Vector& y) const {
+void CsrMatrix::multiply_serial(const Vector& x, Vector& y) const {
   LCN_REQUIRE(x.size() == cols_, "SpMV: x size mismatch");
-  y.assign(rows_, 0.0);
+  y.resize(rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     double sum = 0.0;
     for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
@@ -33,6 +36,40 @@ void CsrMatrix::multiply(const Vector& x, Vector& y) const {
     }
     y[r] = sum;
   }
+}
+
+void CsrMatrix::multiply(const Vector& x, Vector& y) const {
+  instrument::add_spmv(nnz());
+  if (!parallel_kernels_enabled(nnz(), kSpmvGrain)) {
+    multiply_serial(x, y);
+    return;
+  }
+  LCN_REQUIRE(x.size() == cols_, "SpMV: x size mismatch");
+  y.resize(rows_);
+  // Partition rows so each range carries a similar nonzero load: row_ptr is
+  // the nnz prefix sum, so the p-th boundary is the first row whose prefix
+  // reaches p/parts of nnz.
+  const std::size_t total = nnz();
+  const std::size_t parts =
+      std::min(global_pool_threads(), std::max<std::size_t>(rows_, 1));
+  std::vector<std::size_t> bounds(parts + 1, rows_);
+  bounds[0] = 0;
+  for (std::size_t p = 1; p < parts; ++p) {
+    const std::size_t target = total * p / parts;
+    bounds[p] = static_cast<std::size_t>(
+        std::lower_bound(row_ptr_.begin(), row_ptr_.end(), target) -
+        row_ptr_.begin());
+  }
+  global_pool().parallel_for(parts, [&](std::size_t p) {
+    const std::size_t r1 = std::min(bounds[p + 1], rows_);
+    for (std::size_t r = bounds[p]; r < r1; ++r) {
+      double sum = 0.0;
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        sum += values_[k] * x[col_idx_[k]];
+      }
+      y[r] = sum;
+    }
+  });
 }
 
 Vector CsrMatrix::multiply(const Vector& x) const {
@@ -83,14 +120,17 @@ void TripletList::add(std::size_t row, std::size_t col, double value) {
   if (value != 0.0) triplets_.push_back({row, col, value});
 }
 
-CsrMatrix TripletList::to_csr() const {
-  std::vector<Triplet> sorted = triplets_;
+namespace {
+
+/// Sort, merge duplicates (summing in sorted order), and build CSR.
+CsrMatrix compress_triplets(std::size_t rows, std::size_t cols,
+                            std::vector<Triplet>&& sorted) {
   std::sort(sorted.begin(), sorted.end(),
             [](const Triplet& a, const Triplet& b) {
               return a.row != b.row ? a.row < b.row : a.col < b.col;
             });
 
-  std::vector<std::size_t> row_ptr(rows_ + 1, 0);
+  std::vector<std::size_t> row_ptr(rows + 1, 0);
   std::vector<std::size_t> col_idx;
   std::vector<double> values;
   col_idx.reserve(sorted.size());
@@ -109,10 +149,32 @@ CsrMatrix TripletList::to_csr() const {
     ++row_ptr[sorted[i].row + 1];
     i = j;
   }
-  for (std::size_t r = 0; r < rows_; ++r) row_ptr[r + 1] += row_ptr[r];
+  for (std::size_t r = 0; r < rows; ++r) row_ptr[r + 1] += row_ptr[r];
 
-  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
                    std::move(values));
+}
+
+}  // namespace
+
+CsrMatrix TripletList::to_csr() const {
+  return compress_triplets(rows_, cols_, std::vector<Triplet>(triplets_));
+}
+
+CsrMatrix merge_to_csr(std::size_t rows, std::size_t cols,
+                       const std::vector<const TripletList*>& parts) {
+  std::size_t total = 0;
+  for (const TripletList* part : parts) {
+    LCN_REQUIRE(part != nullptr, "merge_to_csr: null part");
+    total += part->size();
+  }
+  std::vector<Triplet> merged;
+  merged.reserve(total);
+  for (const TripletList* part : parts) {
+    merged.insert(merged.end(), part->triplets().begin(),
+                  part->triplets().end());
+  }
+  return compress_triplets(rows, cols, std::move(merged));
 }
 
 }  // namespace lcn::sparse

@@ -3,8 +3,16 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/instrument.hpp"
 
 namespace lcn::sparse {
+
+namespace {
+struct IterationRecorder {
+  const SolveReport& report;
+  ~IterationRecorder() { instrument::add_gmres(report.iterations); }
+};
+}  // namespace
 
 SolveReport gmres_solve(const CsrMatrix& a, const Vector& b, Vector& x,
                         const Preconditioner& m, const GmresOptions& options) {
@@ -15,6 +23,7 @@ SolveReport gmres_solve(const CsrMatrix& a, const Vector& b, Vector& x,
   x.resize(n, 0.0);
 
   SolveReport report;
+  const IterationRecorder recorder{report};
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
     x.assign(n, 0.0);

@@ -1,0 +1,31 @@
+#include "sparse/parallel.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+
+namespace lcn::sparse {
+
+bool parallel_kernels_enabled(std::size_t work, std::size_t grain) {
+  if (work < grain) return false;
+  if (ThreadPool::in_task()) return false;
+  return global_pool_threads() > 1;
+}
+
+void parallel_ranges(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  ThreadPool& pool = global_pool();
+  const std::size_t parts = std::min(pool.size(), n);
+  if (parts <= 1 || ThreadPool::in_task()) {
+    fn(0, n);
+    return;
+  }
+  pool.parallel_for(parts, [&](std::size_t p) {
+    const std::size_t begin = n * p / parts;
+    const std::size_t end = n * (p + 1) / parts;
+    if (begin < end) fn(begin, end);
+  });
+}
+
+}  // namespace lcn::sparse

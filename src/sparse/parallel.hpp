@@ -1,0 +1,33 @@
+// Partition-based parallel execution for the sparse kernels (DESIGN.md §S1).
+//
+// Kernels fan out over the global thread pool only when (a) the pool has
+// more than one worker, (b) the caller is not already inside a pool task
+// (SpMV under a parallel SA neighbor evaluation stays serial — parallelism
+// is spent once, at the widest level), and (c) the work is large enough to
+// amortize dispatch. Every parallel kernel in this module is *bit-identical*
+// to its serial form for any thread count: outputs are partitioned so each
+// element is produced by exactly one task with an unchanged operation order.
+// Reductions (dot, norms) intentionally stay serial — chunked partial sums
+// would round differently per thread count and break the serial/parallel
+// equivalence contract the SA determinism tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace lcn::sparse {
+
+/// Minimum element count before an element-wise vector kernel fans out.
+inline constexpr std::size_t kVectorGrain = std::size_t{1} << 15;
+/// Minimum nonzero count before SpMV fans out.
+inline constexpr std::size_t kSpmvGrain = std::size_t{1} << 14;
+
+/// True when a kernel of size `work` (elements or nonzeros) should fan out.
+bool parallel_kernels_enabled(std::size_t work, std::size_t grain);
+
+/// Run fn(begin, end) over contiguous sub-ranges covering [0, n); the range
+/// count equals the pool width. Caller guarantees fn writes disjoint outputs.
+void parallel_ranges(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace lcn::sparse

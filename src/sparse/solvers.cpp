@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/instrument.hpp"
 #include "common/log.hpp"
 #include "sparse/gmres.hpp"
 #include "sparse/ic0.hpp"
@@ -17,6 +18,13 @@ std::size_t effective_max_iters(const SolveOptions& opts, std::size_t n) {
 std::size_t retry_max_iters(std::size_t n, const SolveOptions& opts) {
   return 4 * effective_max_iters(opts, n);
 }
+
+// Records the final iteration count on every exit path of a solver.
+struct IterationRecorder {
+  const SolveReport& report;
+  void (*record)(std::uint64_t);
+  ~IterationRecorder() { record(report.iterations); }
+};
 }  // namespace
 
 SolveReport cg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
@@ -28,6 +36,7 @@ SolveReport cg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
 
   const double bnorm = norm2(b);
   SolveReport report;
+  const IterationRecorder recorder{report, &instrument::add_cg};
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     report.converged = true;
@@ -86,6 +95,7 @@ SolveReport bicgstab_solve(const CsrMatrix& a, const Vector& b, Vector& x,
 
   const double bnorm = norm2(b);
   SolveReport report;
+  const IterationRecorder recorder{report, &instrument::add_bicgstab};
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     report.converged = true;

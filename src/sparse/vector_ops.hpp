@@ -1,4 +1,11 @@
 // Dense vector kernels shared by the iterative solvers.
+//
+// Element-wise kernels (axpy, xpby, scale) fan out over the global thread
+// pool for large vectors; each element is written by exactly one task with
+// the serial operation order, so results are bit-identical for any thread
+// count. Reductions (dot, norm2) stay serial on purpose: chunked partial
+// sums round differently per thread count, which would break the
+// serial/parallel equivalence guarantee the SA determinism tests pin down.
 #pragma once
 
 #include <cmath>
@@ -6,6 +13,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "sparse/parallel.hpp"
 
 namespace lcn::sparse {
 
@@ -29,16 +37,34 @@ inline double norm_inf(const Vector& a) {
 /// y += alpha * x
 inline void axpy(double alpha, const Vector& x, Vector& y) {
   LCN_ASSERT(x.size() == y.size(), "axpy: size mismatch");
+  if (parallel_kernels_enabled(x.size(), kVectorGrain)) {
+    parallel_ranges(x.size(), [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) y[i] += alpha * x[i];
+    });
+    return;
+  }
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
 /// y = x + beta * y
 inline void xpby(const Vector& x, double beta, Vector& y) {
   LCN_ASSERT(x.size() == y.size(), "xpby: size mismatch");
+  if (parallel_kernels_enabled(x.size(), kVectorGrain)) {
+    parallel_ranges(x.size(), [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) y[i] = x[i] + beta * y[i];
+    });
+    return;
+  }
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
 }
 
 inline void scale(double alpha, Vector& x) {
+  if (parallel_kernels_enabled(x.size(), kVectorGrain)) {
+    parallel_ranges(x.size(), [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) x[i] *= alpha;
+    });
+    return;
+  }
   for (double& v : x) v *= alpha;
 }
 

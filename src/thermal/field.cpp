@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/instrument.hpp"
+#include "common/timer.hpp"
 #include "sparse/solvers.hpp"
 
 namespace lcn {
@@ -58,8 +60,10 @@ ThermalField solve_steady(const AssembledThermal& system, double rel_tolerance,
   }
   sparse::SolveOptions opts;
   opts.rel_tolerance = rel_tolerance;
+  const WallTimer timer;
   sparse::solve_general_or_throw(system.matrix, system.rhs, temps,
                                  "steady thermal solve", opts);
+  instrument::add_steady_solve(timer.seconds());
   return make_field(system, std::move(temps));
 }
 

@@ -1,6 +1,9 @@
 #include "thermal/model_2rm.hpp"
 
 #include "common/assert.hpp"
+#include "common/instrument.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
 #include "flow/flow_solver.hpp"
 
 namespace lcn {
@@ -207,13 +210,13 @@ double Thermal2RM::pumping_power(double p_sys) const {
 
 AssembledThermal Thermal2RM::assemble(double p_sys) const {
   LCN_REQUIRE(p_sys > 0.0, "P_sys must be positive");
+  const WallTimer timer;
   const Grid2D& grid = problem_.grid;
   const Stack& stack = problem_.stack;
   const double pitch = grid.pitch();
   const double cell_area = pitch * pitch;
   const std::size_t n = node_total_;
 
-  sparse::TripletList triplets(n, n);
   AssembledThermal out;
   out.rhs.assign(n, 0.0);
   out.capacitance.assign(n, 0.0);
@@ -222,17 +225,32 @@ AssembledThermal Thermal2RM::assemble(double p_sys) const {
   out.volumetric_heat = problem_.coolant.volumetric_heat;
   out.inlet_temperature = problem_.inlet_temperature;
 
-  auto add_pair = [&](std::ptrdiff_t i, std::ptrdiff_t j, double g) {
-    if (g <= 0.0 || i < 0 || j < 0) return;
-    const auto ii = static_cast<std::size_t>(i);
-    const auto jj = static_cast<std::size_t>(j);
-    triplets.add(ii, ii, g);
-    triplets.add(jj, jj, g);
-    triplets.add(ii, jj, -g);
-    triplets.add(jj, ii, -g);
+  // One task per (layer, block row). Each task fills task-local triplet /
+  // outlet / inflow buffers and writes only its own blocks' rhs and
+  // capacitance entries, so tasks are data-race free. Buffers are merged in
+  // canonical (layer, block-row) order afterwards, which reproduces the
+  // serial emission sequence exactly — the assembled system is bit-identical
+  // for every thread count.
+  struct RowTask {
+    int layer = 0;
+    int block_row = 0;
+    sparse::TripletList trip;
+    std::vector<std::pair<std::size_t, double>> outlet_terms;
+    std::vector<double> inflow;  // per-block inlet flows, traversal order
+    RowTask(int l, int br, std::size_t nodes)
+        : layer(l), block_row(br), trip(nodes, nodes) {}
   };
-
+  std::vector<RowTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(stack.layer_count()) *
+                static_cast<std::size_t>(block_rows_));
   for (int l = 0; l < stack.layer_count(); ++l) {
+    for (int br = 0; br < block_rows_; ++br) tasks.emplace_back(l, br, n);
+  }
+
+  global_pool().parallel_for(tasks.size(), [&](std::size_t ti) {
+    RowTask& task = tasks[ti];
+    const int l = task.layer;
+    const int br = task.block_row;
     const Layer& layer = stack.layer(l);
     const bool is_channel = layer.kind == LayerKind::kChannel;
     const std::vector<BlockStats>* stats =
@@ -245,7 +263,18 @@ AssembledThermal Thermal2RM::assemble(double p_sys) const {
                                             problem_.coolant)
                    : 0.0;
 
-    for (int br = 0; br < block_rows_; ++br) {
+    sparse::TripletList& triplets = task.trip;
+    auto add_pair = [&](std::ptrdiff_t i, std::ptrdiff_t j, double g) {
+      if (g <= 0.0 || i < 0 || j < 0) return;
+      const auto ii = static_cast<std::size_t>(i);
+      const auto jj = static_cast<std::size_t>(j);
+      triplets.add(ii, ii, g);
+      triplets.add(jj, jj, g);
+      triplets.add(ii, jj, -g);
+      triplets.add(jj, ii, -g);
+    };
+
+    {
       for (int bc = 0; bc < block_cols_; ++bc) {
         const std::size_t b = block_index(br, bc);
         const CellRect rect = block_rect(br, bc);
@@ -379,12 +408,12 @@ AssembledThermal Thermal2RM::assemble(double p_sys) const {
           if ((*stats)[b].unit_inflow > 0.0) {
             const double q = (*stats)[b].unit_inflow * p_sys;
             out.rhs[ii] += cv * q * problem_.inlet_temperature;
-            out.inlet_flow_total += q;
+            task.inflow.push_back(q);
           }
           if ((*stats)[b].unit_outflow > 0.0) {
             const double q = (*stats)[b].unit_outflow * p_sys;
             triplets.add(ii, ii, cv * q);
-            out.outlet_terms.emplace_back(ii, q);
+            task.outlet_terms.emplace_back(ii, q);
           }
         }
 
@@ -412,6 +441,16 @@ AssembledThermal Thermal2RM::assemble(double p_sys) const {
         }
       }
     }
+  });
+
+  // Merge task-local buffers in canonical order (flat sums match the serial
+  // traversal order exactly).
+  std::vector<const sparse::TripletList*> parts;
+  parts.reserve(tasks.size());
+  for (const RowTask& task : tasks) {
+    parts.push_back(&task.trip);
+    for (const auto& term : task.outlet_terms) out.outlet_terms.push_back(term);
+    for (double q : task.inflow) out.inlet_flow_total += q;
   }
 
   // Source maps (block row-major).
@@ -429,7 +468,8 @@ AssembledThermal Thermal2RM::assemble(double p_sys) const {
     out.source_nodes.push_back(std::move(nodes));
   }
 
-  out.matrix = triplets.to_csr();
+  out.matrix = sparse::merge_to_csr(n, n, parts);
+  instrument::add_assembly(timer.seconds());
   return out;
 }
 

@@ -1,6 +1,11 @@
 #include "thermal/model_4rm.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
+#include "common/instrument.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
 
 namespace lcn {
 
@@ -59,6 +64,7 @@ double Thermal4RM::pumping_power(double p_sys) const {
 
 AssembledThermal Thermal4RM::assemble(double p_sys) const {
   LCN_REQUIRE(p_sys > 0.0, "P_sys must be positive");
+  const WallTimer timer;
   const Grid2D& grid = problem_.grid;
   const Stack& stack = problem_.stack;
   const std::size_t ncells = grid.cell_count();
@@ -67,7 +73,6 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
   const double pitch = grid.pitch();
   const double cell_area = pitch * pitch;
 
-  sparse::TripletList triplets(n, n);
   AssembledThermal out;
   out.rhs.assign(n, 0.0);
   out.capacitance.assign(n, 0.0);
@@ -76,117 +81,152 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
   out.volumetric_heat = problem_.coolant.volumetric_heat;
   out.inlet_temperature = problem_.inlet_temperature;
 
-  auto add_pair = [&](std::size_t i, std::size_t j, double g) {
-    if (g <= 0.0) return;
-    triplets.add(i, i, g);
-    triplets.add(j, j, g);
-    triplets.add(i, j, -g);
-    triplets.add(j, i, -g);
+  // Per-layer context shared by every row block of the layer.
+  struct LayerCtx {
+    const Layer* layer = nullptr;
+    const CoolingNetwork* net = nullptr;
+    const FlowSolution* flow = nullptr;
+    bool is_channel = false;
+    double h_conv = 0.0;
+    double k = 0.0;       // conductivity
+    double t = 0.0;       // thickness
+    double side_area = 0.0;  // face between in-plane neighbors
   };
-
+  std::vector<LayerCtx> ctx(static_cast<std::size_t>(layer_count));
   for (int l = 0; l < layer_count; ++l) {
-    const Layer& layer = stack.layer(l);
-    const bool is_channel = layer.kind == LayerKind::kChannel;
-    const CoolingNetwork* net =
-        is_channel ? &networks_[static_cast<std::size_t>(layer.channel_index)]
-                   : nullptr;
-    const FlowSolution* flow =
-        is_channel ? &flows_[static_cast<std::size_t>(layer.channel_index)]
-                   : nullptr;
-    const ChannelGeometry geom =
-        is_channel ? problem_.channel_geometry(l) : ChannelGeometry{};
-    const double h_conv =
-        is_channel ? convective_coefficient(geom, problem_.coolant) : 0.0;
-    const double k = layer.material.conductivity;
-    const double t = layer.thickness;
-    const double side_area = pitch * t;  // face between in-plane neighbors
+    LayerCtx& lc = ctx[static_cast<std::size_t>(l)];
+    lc.layer = &stack.layer(l);
+    lc.is_channel = lc.layer->kind == LayerKind::kChannel;
+    if (lc.is_channel) {
+      lc.net = &networks_[static_cast<std::size_t>(lc.layer->channel_index)];
+      lc.flow = &flows_[static_cast<std::size_t>(lc.layer->channel_index)];
+      lc.h_conv = convective_coefficient(problem_.channel_geometry(l),
+                                         problem_.coolant);
+    }
+    lc.k = lc.layer->material.conductivity;
+    lc.t = lc.layer->thickness;
+    lc.side_area = pitch * lc.t;
+  }
 
-    for (int r = 0; r < grid.rows(); ++r) {
+  // The per-cell conduction loop dominates assembly cost, so it is split
+  // into fixed-size row blocks fanned out across the thread pool. The block
+  // layout is independent of the thread count and blocks are merged back in
+  // canonical (layer, row) order, so the triplet sequence — and therefore
+  // the CSR matrix — is bit-identical for every LCN_THREADS setting.
+  constexpr int kBlockRows = 16;
+  struct RowBlock {
+    int layer = 0;
+    int row0 = 0;
+    int row1 = 0;  // exclusive
+  };
+  std::vector<RowBlock> blocks;
+  for (int l = 0; l < layer_count; ++l) {
+    for (int r0 = 0; r0 < grid.rows(); r0 += kBlockRows) {
+      blocks.push_back({l, r0, std::min(r0 + kBlockRows, grid.rows())});
+    }
+  }
+  std::vector<sparse::TripletList> block_trips(blocks.size(),
+                                               sparse::TripletList(n, n));
+
+  global_pool().parallel_for(blocks.size(), [&](std::size_t bi) {
+    const RowBlock& block = blocks[bi];
+    const int l = block.layer;
+    const LayerCtx& lc = ctx[static_cast<std::size_t>(l)];
+    sparse::TripletList& trip = block_trips[bi];
+    auto add_pair = [&trip](std::size_t i, std::size_t j, double g) {
+      if (g <= 0.0) return;
+      trip.add(i, i, g);
+      trip.add(j, j, g);
+      trip.add(i, j, -g);
+      trip.add(j, i, -g);
+    };
+
+    for (int r = block.row0; r < block.row1; ++r) {
       for (int c = 0; c < grid.cols(); ++c) {
         const std::size_t i = node(l, r, c);
-        const bool i_liquid = is_channel && net->is_liquid(r, c);
+        const bool i_liquid = lc.is_channel && lc.net->is_liquid(r, c);
 
-        // Heat capacity.
+        // Heat capacity (each node written by exactly one block).
         out.capacitance[i] =
-            cell_area * t *
+            cell_area * lc.t *
             (i_liquid ? problem_.coolant.volumetric_heat
-                      : layer.material.volumetric_heat);
+                      : lc.layer->material.volumetric_heat);
 
         // In-plane coupling with east and south neighbors (each pair once).
         const int nbr[2][2] = {{r, c + 1}, {r + 1, c}};
         for (const auto& nb : nbr) {
           if (!grid.in_bounds(nb[0], nb[1])) continue;
           const std::size_t j = node(l, nb[0], nb[1]);
-          const bool j_liquid = is_channel && net->is_liquid(nb[0], nb[1]);
+          const bool j_liquid =
+              lc.is_channel && lc.net->is_liquid(nb[0], nb[1]);
           if (!i_liquid && !j_liquid) {
             // solid–solid conduction (Eq. 4): g = k·A/l.
-            add_pair(i, j, k * side_area / pitch);
+            add_pair(i, j, lc.k * lc.side_area / pitch);
           } else if (i_liquid != j_liquid) {
             // solid–liquid through a side wall (Eq. 5): film conductance in
             // series with half-cell conduction in the solid.
-            const double g_conv = h_conv * side_area;
-            const double g_cond = k * side_area / (pitch / 2.0);
+            const double g_conv = lc.h_conv * lc.side_area;
+            const double g_cond = lc.k * lc.side_area / (pitch / 2.0);
             add_pair(i, j, series(g_conv, g_cond));
           }
-          // liquid–liquid: advection only, handled below.
+          // liquid–liquid: advection only, handled in the serial tail.
         }
 
         // Vertical coupling with the layer above.
         if (l + 1 < layer_count) {
-          const Layer& above = stack.layer(l + 1);
-          const bool above_channel = above.kind == LayerKind::kChannel;
-          const CoolingNetwork* net_above =
-              above_channel
-                  ? &networks_[static_cast<std::size_t>(above.channel_index)]
-                  : nullptr;
+          const LayerCtx& above = ctx[static_cast<std::size_t>(l + 1)];
           const std::size_t j = node(l + 1, r, c);
-          const bool j_liquid = above_channel && net_above->is_liquid(r, c);
+          const bool j_liquid =
+              above.is_channel && above.net->is_liquid(r, c);
           LCN_ASSERT(!(i_liquid && j_liquid),
                      "adjacent channel layers are rejected by the stack");
 
-          const double g_i =
-              i_liquid ? h_conv * cell_area
-                       : k * cell_area / (t / 2.0);
-          double g_j;
-          if (j_liquid) {
-            const ChannelGeometry geom_above = problem_.channel_geometry(l + 1);
-            g_j = convective_coefficient(geom_above, problem_.coolant) *
-                  cell_area;
-          } else {
-            g_j = above.material.conductivity * cell_area /
-                  (above.thickness / 2.0);
-          }
+          const double g_i = i_liquid ? lc.h_conv * cell_area
+                                      : lc.k * cell_area / (lc.t / 2.0);
+          const double g_j = j_liquid
+                                 ? above.h_conv * cell_area
+                                 : above.k * cell_area / (above.t / 2.0);
           add_pair(i, j, series(g_i, g_j));
         }
       }
     }
+  });
+
+  // Serial per-layer tail: advection, ports, power injection, ambient sink.
+  // These write shared state (rhs, outlet terms, inlet flow) and are cheap
+  // relative to the conduction loop.
+  std::vector<sparse::TripletList> tails(static_cast<std::size_t>(layer_count),
+                                         sparse::TripletList(n, n));
+  for (int l = 0; l < layer_count; ++l) {
+    const LayerCtx& lc = ctx[static_cast<std::size_t>(l)];
+    sparse::TripletList& trip = tails[static_cast<std::size_t>(l)];
 
     // Liquid–liquid advection (Eq. 6, central differencing) and ports.
-    if (is_channel) {
+    if (lc.is_channel) {
       const double cv = problem_.coolant.volumetric_heat;
-      for (std::size_t li = 0; li < flow->liquid_cells.size(); ++li) {
-        const CellCoord cc = grid.coord(flow->liquid_cells[li]);
+      for (std::size_t li = 0; li < lc.flow->liquid_cells.size(); ++li) {
+        const CellCoord cc = grid.coord(lc.flow->liquid_cells[li]);
         const std::size_t i = node(l, cc.row, cc.col);
         // East/south directed flows cover each liquid pair exactly once.
-        const double q_pair[2] = {flow->q_east[li] * p_sys,
-                                  flow->q_south[li] * p_sys};
+        const double q_pair[2] = {lc.flow->q_east[li] * p_sys,
+                                  lc.flow->q_south[li] * p_sys};
         const int nbr[2][2] = {{cc.row, cc.col + 1}, {cc.row + 1, cc.col}};
         for (int d = 0; d < 2; ++d) {
           const double q = q_pair[d];  // signed flow i -> j
           if (q == 0.0) continue;
           const std::size_t j = node(l, nbr[d][0], nbr[d][1]);
           // Energy balance row i: -C_v·F_ji·(T_i+T_j)/2 with F_ji = -q.
-          triplets.add(i, i, cv * q / 2.0);
-          triplets.add(i, j, cv * q / 2.0);
+          trip.add(i, i, cv * q / 2.0);
+          trip.add(i, j, cv * q / 2.0);
           // Row j: F_ij = +q.
-          triplets.add(j, j, -cv * q / 2.0);
-          triplets.add(j, i, -cv * q / 2.0);
+          trip.add(j, j, -cv * q / 2.0);
+          trip.add(j, i, -cv * q / 2.0);
         }
       }
-      for (std::size_t p = 0; p < net->ports().size(); ++p) {
-        const Port& port = net->ports()[p];
+      for (std::size_t p = 0; p < lc.net->ports().size(); ++p) {
+        const Port& port = lc.net->ports()[p];
         const std::size_t i = node(l, port.row, port.col);
-        const double q = flow->port_flow[p] * p_sys;
+        const double q = lc.flow->port_flow[p] * p_sys;
         if (port.kind == PortKind::kInlet) {
           // Inlet face temperature is fixed at T_in: the advected enthalpy
           // C_v·Q·T_in is a constant heat inflow.
@@ -195,16 +235,16 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
         } else {
           // Outlet face leaves at the cell temperature T_i (paper §2.2):
           // -C_v·(-Q)·T_i = +C_v·Q·T_i on the left-hand side.
-          triplets.add(i, i, cv * q);
+          trip.add(i, i, cv * q);
           out.outlet_terms.emplace_back(i, q);
         }
       }
     }
 
     // Power injection in source layers.
-    if (layer.kind == LayerKind::kSource) {
-      const PowerMap& map =
-          problem_.source_power[static_cast<std::size_t>(layer.source_index)];
+    if (lc.layer->kind == LayerKind::kSource) {
+      const PowerMap& map = problem_.source_power[static_cast<std::size_t>(
+          lc.layer->source_index)];
       for (int r = 0; r < grid.rows(); ++r) {
         for (int c = 0; c < grid.cols(); ++c) {
           out.rhs[node(l, r, c)] += map.at(r, c);
@@ -218,11 +258,23 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
         for (int c = 0; c < grid.cols(); ++c) {
           const std::size_t i = node(l, r, c);
           const double g = problem_.ambient_conductance * cell_area;
-          triplets.add(i, i, g);
+          trip.add(i, i, g);
           out.rhs[i] += g * problem_.ambient_temperature;
         }
       }
     }
+  }
+
+  // Merge in canonical order: layer-major, row blocks first, then the
+  // layer's tail — the exact sequence the serial assembly used to emit.
+  std::vector<const sparse::TripletList*> parts;
+  parts.reserve(blocks.size() + static_cast<std::size_t>(layer_count));
+  std::size_t bi = 0;
+  for (int l = 0; l < layer_count; ++l) {
+    for (; bi < blocks.size() && blocks[bi].layer == l; ++bi) {
+      parts.push_back(&block_trips[bi]);
+    }
+    parts.push_back(&tails[static_cast<std::size_t>(l)]);
   }
 
   // Source-node maps (row-major cell order).
@@ -236,7 +288,8 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
     out.source_nodes.push_back(std::move(nodes));
   }
 
-  out.matrix = triplets.to_csr();
+  out.matrix = sparse::merge_to_csr(n, n, parts);
+  instrument::add_assembly(timer.seconds());
   return out;
 }
 

@@ -1,0 +1,282 @@
+// Serial-equivalence suite for the parallel hot-path engine (DESIGN.md §S1):
+// every parallel kernel — SpMV, element-wise vector ops, CG/BiCGSTAB solves,
+// 4RM/2RM assembly, and the SA trajectory itself — must reproduce the serial
+// result at any thread count. The suite is parameterized over {1, 2, 4, 8}
+// workers; problem sizes sit above the fan-out grains so the parallel paths
+// actually execute.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "geom/benchmarks.hpp"
+#include "network/generators.hpp"
+#include "opt/sa.hpp"
+#include "sparse/parallel.hpp"
+#include "sparse/preconditioner.hpp"
+#include "sparse/solvers.hpp"
+#include "sparse/vector_ops.hpp"
+#include "thermal/model_2rm.hpp"
+#include "thermal/model_4rm.hpp"
+
+namespace lcn {
+namespace {
+
+// 2D 5-point Laplacian on a g x g grid: SPD, and with g = 140 its ~97k
+// nonzeros sit well above kSpmvGrain so SpMV fans out.
+sparse::CsrMatrix laplacian2d(std::size_t g) {
+  const std::size_t n = g * g;
+  sparse::TripletList trip(n, n);
+  for (std::size_t r = 0; r < g; ++r) {
+    for (std::size_t c = 0; c < g; ++c) {
+      const std::size_t i = r * g + c;
+      trip.add(i, i, 4.0);
+      if (r > 0) trip.add(i, i - g, -1.0);
+      if (r + 1 < g) trip.add(i, i + g, -1.0);
+      if (c > 0) trip.add(i, i - 1, -1.0);
+      if (c + 1 < g) trip.add(i, i + 1, -1.0);
+    }
+  }
+  return trip.to_csr();
+}
+
+sparse::Vector varied_vector(std::size_t n) {
+  sparse::Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(0.37 * static_cast<double>(i)) +
+           1e-3 * static_cast<double>(i % 101);
+  }
+  return x;
+}
+
+void expect_vectors_equal(const sparse::Vector& expected,
+                          const sparse::Vector& actual, double rel_tol) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const double tol = rel_tol * std::max(1.0, std::abs(expected[i]));
+    ASSERT_NEAR(expected[i], actual[i], tol) << "index " << i;
+  }
+}
+
+CoolingProblem assembly_problem() {
+  CoolingProblem problem;
+  problem.grid = Grid2D(33, 33, 100e-6);
+  problem.stack = make_interlayer_stack(2, 200e-6);
+  problem.source_power.push_back(
+      synthesize_power_map(problem.grid, 4.4, 11));
+  problem.source_power.push_back(
+      synthesize_power_map(problem.grid, 3.6, 12));
+  return problem;
+}
+
+std::vector<CoolingNetwork> tree_networks(const CoolingProblem& problem) {
+  return std::vector<CoolingNetwork>(
+      static_cast<std::size_t>(problem.stack.channel_count()),
+      make_tree_network(problem.grid,
+                        make_uniform_layout(problem.grid, 10, 20)));
+}
+
+void expect_assemblies_equal(const AssembledThermal& expected,
+                             const AssembledThermal& actual) {
+  ASSERT_EQ(expected.matrix.rows(), actual.matrix.rows());
+  ASSERT_EQ(expected.matrix.row_ptr(), actual.matrix.row_ptr());
+  ASSERT_EQ(expected.matrix.col_idx(), actual.matrix.col_idx());
+  const auto& ev = expected.matrix.values();
+  const auto& av = actual.matrix.values();
+  ASSERT_EQ(ev.size(), av.size());
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    ASSERT_NEAR(ev[i], av[i], 1e-10 * std::max(1.0, std::abs(ev[i])))
+        << "nnz " << i;
+  }
+  expect_vectors_equal(expected.rhs, actual.rhs, 1e-10);
+  expect_vectors_equal(expected.capacitance, actual.capacitance, 1e-10);
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { set_global_pool_threads(GetParam()); }
+  static void TearDownTestSuite() { set_global_pool_threads(0); }
+};
+
+TEST_P(ParallelEquivalence, PoolHasRequestedWidth) {
+  EXPECT_EQ(global_pool_threads(), GetParam());
+}
+
+TEST_P(ParallelEquivalence, SpmvMatchesSerialReference) {
+  const sparse::CsrMatrix a = laplacian2d(140);
+  ASSERT_GE(a.nnz(), sparse::kSpmvGrain);  // the parallel path must engage
+  const sparse::Vector x = varied_vector(a.cols());
+  sparse::Vector reference;
+  a.multiply_serial(x, reference);
+  sparse::Vector y;
+  a.multiply(x, y);
+  expect_vectors_equal(reference, y, 1e-10);
+}
+
+TEST_P(ParallelEquivalence, SpmvInsidePoolTaskStaysCorrect) {
+  // Nested case: SpMV called from inside a parallel_for task must fall back
+  // to the serial kernel (ThreadPool::in_task guard) and stay correct.
+  const sparse::CsrMatrix a = laplacian2d(140);
+  const sparse::Vector x = varied_vector(a.cols());
+  sparse::Vector reference;
+  a.multiply_serial(x, reference);
+  std::vector<sparse::Vector> results(4);
+  global_pool().parallel_for(results.size(), [&](std::size_t k) {
+    a.multiply(x, results[k]);
+  });
+  for (const sparse::Vector& y : results) {
+    expect_vectors_equal(reference, y, 0.0);
+  }
+}
+
+TEST_P(ParallelEquivalence, ElementWiseOpsMatchSerialReference) {
+  const std::size_t n = 100000;
+  ASSERT_GE(n, sparse::kVectorGrain);
+  const sparse::Vector x = varied_vector(n);
+  sparse::Vector y = varied_vector(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] += 0.25;
+
+  sparse::Vector axpy_ref = y;
+  for (std::size_t i = 0; i < n; ++i) axpy_ref[i] += 1.7 * x[i];
+  sparse::Vector axpy_out = y;
+  sparse::axpy(1.7, x, axpy_out);
+  expect_vectors_equal(axpy_ref, axpy_out, 1e-10);
+
+  sparse::Vector xpby_ref = y;
+  for (std::size_t i = 0; i < n; ++i) xpby_ref[i] = x[i] - 0.6 * xpby_ref[i];
+  sparse::Vector xpby_out = y;
+  sparse::xpby(x, -0.6, xpby_out);
+  expect_vectors_equal(xpby_ref, xpby_out, 1e-10);
+
+  sparse::Vector scale_ref = y;
+  for (std::size_t i = 0; i < n; ++i) scale_ref[i] *= 3.25;
+  sparse::Vector scale_out = y;
+  sparse::scale(3.25, scale_out);
+  expect_vectors_equal(scale_ref, scale_out, 1e-10);
+}
+
+TEST_P(ParallelEquivalence, CgSolveMatchesSingleThreadRun) {
+  const sparse::CsrMatrix a = laplacian2d(140);
+  const sparse::Vector b = varied_vector(a.rows());
+  const sparse::JacobiPreconditioner jacobi(a);
+
+  set_global_pool_threads(1);
+  sparse::Vector x_serial(a.rows(), 0.0);
+  const sparse::SolveReport serial = cg_solve(a, b, x_serial, jacobi);
+  ASSERT_TRUE(serial.converged);
+
+  set_global_pool_threads(GetParam());
+  sparse::Vector x_parallel(a.rows(), 0.0);
+  const sparse::SolveReport parallel = cg_solve(a, b, x_parallel, jacobi);
+  ASSERT_TRUE(parallel.converged);
+
+  // The kernels are bit-identical, so the iteration trajectory is too.
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+  expect_vectors_equal(x_serial, x_parallel, 1e-10);
+}
+
+TEST_P(ParallelEquivalence, BicgstabSolveMatchesSingleThreadRun) {
+  // Nonsymmetric system: a 2RM thermal matrix with advection terms.
+  const CoolingProblem problem = assembly_problem();
+  const Thermal2RM sim(problem, tree_networks(problem), 2);
+  const AssembledThermal system = sim.assemble(4000.0);
+  const sparse::Ilu0Preconditioner ilu(system.matrix);
+
+  set_global_pool_threads(1);
+  sparse::Vector x_serial(system.matrix.rows(), 0.0);
+  const sparse::SolveReport serial =
+      bicgstab_solve(system.matrix, system.rhs, x_serial, ilu);
+  ASSERT_TRUE(serial.converged);
+
+  set_global_pool_threads(GetParam());
+  sparse::Vector x_parallel(system.matrix.rows(), 0.0);
+  const sparse::SolveReport parallel =
+      bicgstab_solve(system.matrix, system.rhs, x_parallel, ilu);
+  ASSERT_TRUE(parallel.converged);
+
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+  expect_vectors_equal(x_serial, x_parallel, 1e-10);
+}
+
+TEST_P(ParallelEquivalence, Assembly4RmMatchesSingleThreadRun) {
+  const CoolingProblem problem = assembly_problem();
+  const Thermal4RM sim(problem, tree_networks(problem));
+
+  set_global_pool_threads(1);
+  const AssembledThermal reference = sim.assemble(3000.0);
+  set_global_pool_threads(GetParam());
+  const AssembledThermal assembled = sim.assemble(3000.0);
+  expect_assemblies_equal(reference, assembled);
+}
+
+TEST_P(ParallelEquivalence, Assembly2RmMatchesSingleThreadRun) {
+  const CoolingProblem problem = assembly_problem();
+  const Thermal2RM sim(problem, tree_networks(problem), 4);
+
+  set_global_pool_threads(1);
+  const AssembledThermal reference = sim.assemble(3000.0);
+  set_global_pool_threads(GetParam());
+  const AssembledThermal assembled = sim.assemble(3000.0);
+  expect_assemblies_equal(reference, assembled);
+}
+
+struct SaRunResult {
+  std::uint64_t network_hash = 0;
+  double score = 0.0;
+  double p_sys = 0.0;
+  std::size_t evaluations = 0;
+};
+
+SaRunResult run_small_sa() {
+  BenchmarkCase bench;
+  bench.id = 98;
+  bench.name = "parallel-equivalence";
+  bench.problem.grid = Grid2D(31, 31, 100e-6);
+  bench.problem.stack = make_interlayer_stack(2, 200e-6);
+  bench.problem.source_power.push_back(
+      synthesize_power_map(bench.problem.grid, 4.4, 21));
+  bench.problem.source_power.push_back(
+      synthesize_power_map(bench.problem.grid, 3.6, 22));
+  bench.constraints.delta_t_max = 12.0;
+  bench.constraints.t_max = 400.0;
+
+  TreeTopologyOptimizer opt(bench, DesignObjective::kPumpingPower, 5);
+  std::vector<SaStage> stages;
+  stages.push_back(
+      {"equiv", 4, 2, 3, 4, SimConfig{ThermalModelKind::k2RM, 3}, false, 1});
+  const DesignOutcome outcome = opt.run(stages);
+  SaRunResult result;
+  result.network_hash = outcome.network.content_hash();
+  result.score = outcome.eval.score;
+  result.p_sys = outcome.eval.p_sys;
+  result.evaluations = outcome.evaluations;
+  return result;
+}
+
+TEST_P(ParallelEquivalence, SaTrajectoryIndependentOfThreadCount) {
+  // Per-neighbor rng streams + bit-identical kernels make the whole SA
+  // trajectory — accepted moves, final network, evaluation count — a pure
+  // function of the seed, regardless of how many threads score the pool.
+  static const SaRunResult reference = [] {
+    set_global_pool_threads(1);
+    return run_small_sa();
+  }();
+  set_global_pool_threads(GetParam());
+  const SaRunResult run = run_small_sa();
+  EXPECT_EQ(reference.network_hash, run.network_hash);
+  EXPECT_EQ(reference.evaluations, run.evaluations);
+  EXPECT_DOUBLE_EQ(reference.score, run.score);
+  EXPECT_DOUBLE_EQ(reference.p_sys, run.p_sys);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelEquivalence,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{4}, std::size_t{8}),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lcn
