@@ -1,0 +1,121 @@
+// S17 — Monte-Carlo reliability sweep over a finished design. Optimizes a
+// small Problem-1 design on ICCAD case 1, then sweeps N fault scenarios at
+// serial and parallel pool widths, reporting exceedance probabilities,
+// margin quantiles, and recovery statistics. The sweep statistics must be
+// bit-identical across widths (PR-1 serial-equivalence contract extended to
+// the reliability engine); every measurement is appended to
+// bench_results/BENCH_reliability.json together with the scenario counters.
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "network/generators.hpp"
+#include "opt/sa.hpp"
+#include "reliability/sweep.hpp"
+
+namespace {
+
+using namespace lcn;
+
+bool reports_agree(const SweepReport& a, const SweepReport& b) {
+  return a.p_exceed_t_max == b.p_exceed_t_max &&
+         a.p_exceed_delta_t == b.p_exceed_delta_t &&
+         a.p_infeasible == b.p_infeasible && a.recovered == b.recovered &&
+         a.unrecoverable == b.unrecoverable &&
+         a.t_margin_q10 == b.t_margin_q10 &&
+         a.t_margin_q50 == b.t_margin_q50 &&
+         a.t_margin_q90 == b.t_margin_q90 &&
+         a.dt_margin_q10 == b.dt_margin_q10 &&
+         a.dt_margin_q50 == b.dt_margin_q50 &&
+         a.dt_margin_q90 == b.dt_margin_q90 &&
+         a.worst_scenario == b.worst_scenario &&
+         a.mean_recovery_w_extra == b.mean_recovery_w_extra;
+}
+
+std::vector<std::pair<std::string, double>> report_metrics(
+    const SweepReport& report) {
+  return {{"p_exceed_t_max", report.p_exceed_t_max},
+          {"p_exceed_delta_t", report.p_exceed_delta_t},
+          {"p_infeasible", report.p_infeasible},
+          {"recovered", static_cast<double>(report.recovered)},
+          {"unrecoverable", static_cast<double>(report.unrecoverable)},
+          {"t_margin_q10_k", report.t_margin_q10},
+          {"t_margin_q50_k", report.t_margin_q50},
+          {"dt_margin_q50_k", report.dt_margin_q50},
+          {"mean_recovery_w_extra_w", report.mean_recovery_w_extra},
+          {"worst_scenario", static_cast<double>(report.worst_scenario)}};
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Reliability engine — Monte-Carlo degradation sweep",
+                    "DESIGN.md §S17 (fault injection + recovery planning)");
+  const bool fast = env_flag("LCN_FAST");
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t wide = std::max<std::size_t>(
+      2, static_cast<std::size_t>(env_double("LCN_THREADS", 4)));
+
+  const BenchmarkCase bench = make_iccad_case(1);
+
+  // A quick Problem-1 run yields the design under test and its nominal
+  // operating pressure; the sweep then asks how that design degrades.
+  TreeTopologyOptimizer opt(bench, DesignObjective::kPumpingPower, 0xdac17u);
+  const DesignOutcome design = opt.run(default_p1_stages(fast ? 0.05 : 0.1));
+  if (!design.feasible) {
+    std::printf("design infeasible; nothing to sweep\n");
+    return 1;
+  }
+  std::printf("design: P_sys %.0f Pa, W_pump %.4f W, T_max %.2f K, "
+              "dT %.2f K\n\n",
+              design.eval.p_sys, design.eval.w_pump, design.eval.at_p.t_max,
+              design.eval.at_p.delta_t);
+
+  SweepOptions options;
+  options.scenarios = fast ? 24 : 96;
+  options.seed = 0x5eedfau;
+  options.search.rel_precision = 1e-2;
+  options.search.max_probes = 40;
+
+  TextTable table({"width", "scenarios", "seconds", "P(T>T*)", "P(dT>dT*)",
+                   "recovered", "unrecov", "stats"});
+  SweepReport serial;
+  bool all_agree = true;
+  for (const std::size_t threads : {std::size_t{1}, wide}) {
+    set_global_pool_threads(threads);
+    const instrument::Snapshot before = instrument::snapshot();
+    const SweepReport report = run_sweep(bench.problem, design.network,
+                                         bench.constraints,
+                                         design.eval.p_sys, options);
+    benchutil::PerfRecord record;
+    record.bench = "bench_reliability";
+    record.config = strfmt("sweep_n%d", options.scenarios);
+    record.threads = threads;
+    record.seconds = report.seconds;
+    record.metrics = report_metrics(report);
+    record.counters = instrument::delta(before, instrument::snapshot());
+    benchutil::append_perf_record(record, "BENCH_reliability.json");
+
+    const bool agree = threads == 1 || reports_agree(serial, report);
+    all_agree = all_agree && agree;
+    if (threads == 1) serial = report;
+    table.add_row({strfmt("%zu", threads), strfmt("%d", options.scenarios),
+                   cell(report.seconds, 3), cell(report.p_exceed_t_max, 3),
+                   cell(report.p_exceed_delta_t, 3),
+                   strfmt("%zu", report.recovered),
+                   strfmt("%zu", report.unrecoverable),
+                   threads == 1 ? "reference" : (agree ? "match" : "MISMATCH")});
+  }
+  set_global_pool_threads(0);
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf("hardware threads %zu; sweep statistics across widths: %s "
+              "(bit-identical required)\n",
+              hw, all_agree ? "PASS" : "FAIL");
+  return all_agree ? 0 : 1;
+}

@@ -68,15 +68,18 @@ struct PerfRecord {
   instrument::Snapshot counters;
 };
 
-/// Append one JSON line to bench_results/BENCH_parallel.json (JSON-lines:
-/// one self-contained object per record, so repeated bench runs accumulate a
+/// Append one JSON line to bench_results/<filename> (JSON-lines: one
+/// self-contained object per record, so repeated bench runs accumulate a
 /// perf trajectory). Best-effort; suppressed by LCN_NO_CSV alongside CSVs.
-inline void append_perf_record(const PerfRecord& record) {
+inline void append_perf_record(const PerfRecord& record,
+                               const std::string& filename =
+                                   "BENCH_parallel.json") {
   if (env_flag("LCN_NO_CSV")) return;
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
   if (ec) return;
-  std::FILE* out = std::fopen("bench_results/BENCH_parallel.json", "a");
+  const std::string path = "bench_results/" + filename;
+  std::FILE* out = std::fopen(path.c_str(), "a");
   if (out == nullptr) return;
   std::string metrics;
   for (const auto& [name, value] : record.metrics) {
@@ -90,8 +93,8 @@ inline void append_perf_record(const PerfRecord& record) {
                record.seconds, metrics.c_str(),
                record.counters.json().c_str());
   std::fclose(out);
-  std::printf("  [perf: bench_results/BENCH_parallel.json %s/%s]\n",
-              record.bench.c_str(), record.config.c_str());
+  std::printf("  [perf: %s %s/%s]\n", path.c_str(), record.bench.c_str(),
+              record.config.c_str());
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {

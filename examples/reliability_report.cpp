@@ -1,0 +1,98 @@
+// Reliability report: take a cooling design at its nominal operating point,
+// inject faults — clogged channels, pump droop, warm inlet coolant, power
+// excursions — and print a degradation table: what each scenario does to
+// T_max / ΔT, which scenarios break the limits, and how much extra pump
+// pressure (if any) buys the system back (DESIGN.md §S17).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/example_reliability_report
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "geom/benchmarks.hpp"
+#include "network/generators.hpp"
+#include "opt/evaluator.hpp"
+#include "reliability/sweep.hpp"
+
+int main() {
+  using namespace lcn;
+
+  // 1. The system under study: ICCAD-like case 1 with a hierarchical
+  //    tree-like network, operated at its lowest feasible pumping power.
+  const BenchmarkCase bench = make_iccad_case(1);
+  const CoolingNetwork network = make_tree_network(
+      bench.problem.grid, make_uniform_layout(bench.problem.grid, 30, 64));
+
+  SystemEvaluator eval(bench.problem, network,
+                       SimConfig{ThermalModelKind::k2RM, 4});
+  const EvalResult nominal = evaluate_p1(eval, bench.constraints);
+  if (!nominal.feasible) {
+    std::printf("nominal design infeasible; nothing to degrade\n");
+    return 1;
+  }
+  std::printf("nominal: P_sys %.0f Pa, W_pump %.4f W, T_max %.2f K "
+              "(limit %.2f), dT %.2f K (limit %.2f)\n\n",
+              nominal.p_sys, nominal.w_pump, nominal.at_p.t_max,
+              bench.constraints.t_max, nominal.at_p.delta_t,
+              bench.constraints.delta_t_max);
+
+  // 2. Monte-Carlo degradation sweep with recovery planning.
+  SweepOptions options;
+  options.scenarios = 32;
+  options.seed = 0xfa017u;
+  options.search.rel_precision = 1e-2;
+  options.search.max_probes = 40;
+  const SweepReport report = run_sweep(bench.problem, network,
+                                       bench.constraints, nominal.p_sys,
+                                       options);
+
+  // 3. The degradation table: one row per sampled scenario.
+  TextTable table({"#", "scenario", "T_max (K)", "dT (K)", "margin (K)",
+                   "status", "recovery P (Pa)", "extra W (mW)"});
+  for (std::size_t k = 0; k < report.outcomes.size(); ++k) {
+    const ScenarioOutcome& out = report.outcomes[k];
+    if (!out.evaluated) {
+      table.add_row({cell_int(static_cast<long>(k)), out.scenario.describe(),
+                     cell_na(), cell_na(), cell_na(), "unrecoverable",
+                     cell_na(), cell_na()});
+      continue;
+    }
+    const bool recovered = out.recovery == RecoveryKind::kRecovered;
+    table.add_row(
+        {cell_int(static_cast<long>(k)),
+         out.scenario.empty() ? "(no faults)" : out.scenario.describe(),
+         cell(out.at_p.t_max), cell(out.at_p.delta_t), cell(out.t_margin),
+         out.feasible ? "ok" : recovery_kind_name(out.recovery),
+         recovered ? cell(out.recovery_p_sys, 0) : cell_na(),
+         recovered ? cell((out.recovery_w_pump - report.w_nominal) * 1e3, 2)
+                   : cell_na()});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // 4. Summary statistics.
+  std::printf("scenarios: %zu evaluated of %zu sampled\n", report.evaluated,
+              report.outcomes.size());
+  std::printf("P(T_max > T*_max)  = %.3f\n", report.p_exceed_t_max);
+  std::printf("P(dT > dT*)        = %.3f\n", report.p_exceed_delta_t);
+  std::printf("P(infeasible)      = %.3f   (%zu recovered, %zu "
+              "unrecoverable)\n",
+              report.p_infeasible, report.recovered, report.unrecoverable);
+  std::printf("T_max margin (K)   : q10 %.2f, median %.2f, q90 %.2f\n",
+              report.t_margin_q10, report.t_margin_q50, report.t_margin_q90);
+  std::printf("dT margin (K)      : q10 %.2f, median %.2f, q90 %.2f\n",
+              report.dt_margin_q10, report.dt_margin_q50,
+              report.dt_margin_q90);
+  if (report.recovered > 0) {
+    std::printf("mean recovery cost : %+.2f mW pumping power\n",
+                report.mean_recovery_w_extra * 1e3);
+  }
+  if (report.worst_scenario >= 0) {
+    const ScenarioOutcome& worst =
+        report.outcomes[static_cast<std::size_t>(report.worst_scenario)];
+    std::printf("worst scenario     : #%d %s\n", report.worst_scenario,
+                worst.scenario.describe().c_str());
+  }
+  std::printf("sweep wall time    : %.2f s\n", report.seconds);
+  return 0;
+}

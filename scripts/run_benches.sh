@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Run every bench binary in smoke mode (LCN_FAST=1) and collect the side
 # outputs — per-bench CSVs and the machine-readable perf records
-# (BENCH_parallel.json) — into ./bench_results/.
+# (BENCH_parallel.json, BENCH_reliability.json) — into ./bench_results/.
 #
 # Usage: scripts/run_benches.sh [build-dir]
 #   build-dir   defaults to ./build (must already be built)

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Configure, build, and run the tier-1 test suite — the gate every change
+# must keep green (ROADMAP.md).
+#
+# Usage: scripts/run_tier1.sh [build-dir]
+#   build-dir     defaults to ./build; a sanitizer build gets its own
+#                 directory (build-asan / build-ubsan) unless overridden
+#
+# Knobs:
+#   LCN_SANITIZE=address|undefined   instrumented build (CMake LCN_SANITIZE)
+#   LCN_THREADS                      pass through to the tests' thread pool
+set -euo pipefail
+
+sanitize="${LCN_SANITIZE:-}"
+cmake_args=()
+default_dir="build"
+if [[ -n "${sanitize}" ]]; then
+  case "${sanitize}" in
+    address) default_dir="build-asan" ;;
+    undefined) default_dir="build-ubsan" ;;
+    *)
+      echo "error: LCN_SANITIZE must be 'address' or 'undefined'" >&2
+      exit 2
+      ;;
+  esac
+  cmake_args+=("-DLCN_SANITIZE=${sanitize}")
+fi
+build_dir="${1:-${default_dir}}"
+
+cmake -B "${build_dir}" -S . "${cmake_args[@]+"${cmake_args[@]}"}"
+cmake --build "${build_dir}" -j
+ctest --test-dir "${build_dir}" -L tier1 --output-on-failure -j "$(nproc)"

@@ -24,6 +24,9 @@ struct Counters {
   std::atomic<std::uint64_t> cache_misses{0};
   std::atomic<std::uint64_t> assembly_micros{0};
   std::atomic<std::uint64_t> solve_micros{0};
+  std::atomic<std::uint64_t> scenarios_evaluated{0};
+  std::atomic<std::uint64_t> scenarios_infeasible{0};
+  std::atomic<std::uint64_t> recovery_searches{0};
 };
 
 Counters& counters() {
@@ -73,6 +76,16 @@ void add_steady_solve(double seconds) {
 void add_cache_hit() { counters().cache_hits.fetch_add(1, kRelaxed); }
 void add_cache_miss() { counters().cache_misses.fetch_add(1, kRelaxed); }
 
+void add_scenario_evaluated() {
+  counters().scenarios_evaluated.fetch_add(1, kRelaxed);
+}
+void add_scenario_infeasible() {
+  counters().scenarios_infeasible.fetch_add(1, kRelaxed);
+}
+void add_recovery_search() {
+  counters().recovery_searches.fetch_add(1, kRelaxed);
+}
+
 Snapshot snapshot() {
   const Counters& c = counters();
   Snapshot s;
@@ -90,6 +103,9 @@ Snapshot snapshot() {
   s.cache_misses = c.cache_misses.load(kRelaxed);
   s.assembly_micros = c.assembly_micros.load(kRelaxed);
   s.solve_micros = c.solve_micros.load(kRelaxed);
+  s.scenarios_evaluated = c.scenarios_evaluated.load(kRelaxed);
+  s.scenarios_infeasible = c.scenarios_infeasible.load(kRelaxed);
+  s.recovery_searches = c.recovery_searches.load(kRelaxed);
   return s;
 }
 
@@ -109,6 +125,9 @@ Snapshot delta(const Snapshot& before, const Snapshot& after) {
   d.cache_misses = after.cache_misses - before.cache_misses;
   d.assembly_micros = after.assembly_micros - before.assembly_micros;
   d.solve_micros = after.solve_micros - before.solve_micros;
+  d.scenarios_evaluated = after.scenarios_evaluated - before.scenarios_evaluated;
+  d.scenarios_infeasible = after.scenarios_infeasible - before.scenarios_infeasible;
+  d.recovery_searches = after.recovery_searches - before.recovery_searches;
   return d;
 }
 
@@ -128,6 +147,9 @@ void reset() {
   c.cache_misses.store(0, kRelaxed);
   c.assembly_micros.store(0, kRelaxed);
   c.solve_micros.store(0, kRelaxed);
+  c.scenarios_evaluated.store(0, kRelaxed);
+  c.scenarios_infeasible.store(0, kRelaxed);
+  c.recovery_searches.store(0, kRelaxed);
 }
 
 double Snapshot::cache_hit_rate() const {
@@ -144,7 +166,9 @@ std::string Snapshot::json() const {
       "\"assemblies\":%llu,\"steady_solves\":%llu,"
       "\"cache_hits\":%llu,\"cache_misses\":%llu,"
       "\"cache_hit_rate\":%.4f,"
-      "\"assembly_seconds\":%.6f,\"solve_seconds\":%.6f}",
+      "\"assembly_seconds\":%.6f,\"solve_seconds\":%.6f,"
+      "\"scenarios_evaluated\":%llu,\"scenarios_infeasible\":%llu,"
+      "\"recovery_searches\":%llu}",
       static_cast<unsigned long long>(spmv_count),
       static_cast<unsigned long long>(spmv_nnz),
       static_cast<unsigned long long>(cg_solves),
@@ -157,7 +181,10 @@ std::string Snapshot::json() const {
       static_cast<unsigned long long>(steady_solves),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses), cache_hit_rate(),
-      assembly_micros * 1e-6, solve_micros * 1e-6);
+      assembly_micros * 1e-6, solve_micros * 1e-6,
+      static_cast<unsigned long long>(scenarios_evaluated),
+      static_cast<unsigned long long>(scenarios_infeasible),
+      static_cast<unsigned long long>(recovery_searches));
 }
 
 }  // namespace lcn::instrument

@@ -30,6 +30,9 @@ struct Snapshot {
   std::uint64_t cache_misses = 0;
   std::uint64_t assembly_micros = 0;     ///< wall time in assemble()
   std::uint64_t solve_micros = 0;        ///< wall time in solve_steady()
+  std::uint64_t scenarios_evaluated = 0;   ///< reliability fault scenarios
+  std::uint64_t scenarios_infeasible = 0;  ///< violated limits / unevaluable
+  std::uint64_t recovery_searches = 0;     ///< degradation-planner searches
 
   double cache_hit_rate() const;
   std::string json() const;
@@ -43,6 +46,9 @@ void add_assembly(double seconds);
 void add_steady_solve(double seconds);
 void add_cache_hit();
 void add_cache_miss();
+void add_scenario_evaluated();
+void add_scenario_infeasible();
+void add_recovery_search();
 
 Snapshot snapshot();
 /// Difference of two snapshots (per-phase accounting in benches).

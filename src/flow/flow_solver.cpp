@@ -48,6 +48,14 @@ FlowSolver::FlowSolver(const CoolingNetwork& net,
     : net_(net), channel_(channel), coolant_(coolant), options_(options) {
   LCN_REQUIRE(options.edge_conductance_factor > 0.0,
               "edge conductance factor must be positive");
+  if (!options.cell_conductance_scale.empty()) {
+    LCN_REQUIRE(options.cell_conductance_scale.size() ==
+                    net.grid().cell_count(),
+                "cell conductance scale must cover every grid cell");
+    for (const double s : options.cell_conductance_scale) {
+      LCN_REQUIRE(s > 0.0, "cell conductance scale factors must be positive");
+    }
+  }
 }
 
 FlowSolution FlowSolver::solve(double p_sys) const {
@@ -105,6 +113,21 @@ FlowSolution FlowSolver::solve(double p_sys) const {
   const double g_bulk = fluid_conductance(channel_, coolant_, grid.pitch());
   const double g_edge = g_bulk * options_.edge_conductance_factor;
 
+  // Per-cell clogging factors (reliability fault injection): the conductance
+  // of a cell pair is the harmonic mean of the two cell factors — two
+  // constricted half-segments in series — and a port scales by its cell's
+  // factor. An empty vector keeps the nominal arithmetic bit-identical.
+  const std::vector<double>& scale = options_.cell_conductance_scale;
+  auto cell_scale = [&scale](std::size_t cell) {
+    return scale.empty() ? 1.0 : scale[cell];
+  };
+  auto pair_conductance = [&](std::size_t cell_i, std::size_t cell_j) {
+    if (scale.empty()) return g_bulk;
+    const double si = scale[cell_i];
+    const double sj = scale[cell_j];
+    return g_bulk * (2.0 * si * sj / (si + sj));
+  };
+
   sparse::TripletList triplets(n, n);
   sparse::Vector rhs(n, 0.0);
 
@@ -117,10 +140,12 @@ FlowSolution FlowSolver::solve(double p_sys) const {
       const std::int32_t jdx = sol.liquid_index[grid.index(nb[0], nb[1])];
       if (jdx < 0) continue;
       const auto j = static_cast<std::size_t>(jdx);
-      triplets.add(i, i, g_bulk);
-      triplets.add(j, j, g_bulk);
-      triplets.add(i, j, -g_bulk);
-      triplets.add(j, i, -g_bulk);
+      const double g =
+          pair_conductance(sol.liquid_cells[i], sol.liquid_cells[j]);
+      triplets.add(i, i, g);
+      triplets.add(j, j, g);
+      triplets.add(i, j, -g);
+      triplets.add(j, i, -g);
     }
   }
 
@@ -129,8 +154,9 @@ FlowSolution FlowSolver::solve(double p_sys) const {
   for (const Port& port : net_.ports()) {
     const std::int32_t idx = sol.liquid_index[grid.index(port.row, port.col)];
     const auto i = static_cast<std::size_t>(idx);
-    triplets.add(i, i, g_edge);
-    if (port.kind == PortKind::kInlet) rhs[i] += g_edge * p_sys;
+    const double g = g_edge * cell_scale(grid.index(port.row, port.col));
+    triplets.add(i, i, g);
+    if (port.kind == PortKind::kInlet) rhs[i] += g * p_sys;
   }
 
   const sparse::CsrMatrix matrix = triplets.to_csr();
@@ -140,7 +166,8 @@ FlowSolution FlowSolver::solve(double p_sys) const {
   sparse::solve_spd_or_throw(matrix, rhs, sol.pressure, "flow pressure solve",
                              opts);
 
-  // Local flow rates (Eq. 1).
+  // Local flow rates (Eq. 1), with the same per-edge conductances as the
+  // pressure system so conservation holds under clogging faults.
   sol.q_east.assign(n, 0.0);
   sol.q_south.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -148,15 +175,19 @@ FlowSolution FlowSolver::solve(double p_sys) const {
     if (grid.in_bounds(cc.row, cc.col + 1)) {
       const std::int32_t j = sol.liquid_index[grid.index(cc.row, cc.col + 1)];
       if (j >= 0) {
+        const auto sj = static_cast<std::size_t>(j);
         sol.q_east[i] =
-            g_bulk * (sol.pressure[i] - sol.pressure[static_cast<std::size_t>(j)]);
+            pair_conductance(sol.liquid_cells[i], sol.liquid_cells[sj]) *
+            (sol.pressure[i] - sol.pressure[sj]);
       }
     }
     if (grid.in_bounds(cc.row + 1, cc.col)) {
       const std::int32_t j = sol.liquid_index[grid.index(cc.row + 1, cc.col)];
       if (j >= 0) {
+        const auto sj = static_cast<std::size_t>(j);
         sol.q_south[i] =
-            g_bulk * (sol.pressure[i] - sol.pressure[static_cast<std::size_t>(j)]);
+            pair_conductance(sol.liquid_cells[i], sol.liquid_cells[sj]) *
+            (sol.pressure[i] - sol.pressure[sj]);
       }
     }
   }
@@ -168,15 +199,20 @@ FlowSolution FlowSolver::solve(double p_sys) const {
     const Port& port = net_.ports()[p];
     const std::int32_t idx = sol.liquid_index[grid.index(port.row, port.col)];
     const double cell_pressure = sol.pressure[static_cast<std::size_t>(idx)];
+    const double g = g_edge * cell_scale(grid.index(port.row, port.col));
     if (port.kind == PortKind::kInlet) {
-      sol.port_flow[p] = g_edge * (p_sys - cell_pressure);
+      sol.port_flow[p] = g * (p_sys - cell_pressure);
       inflow += sol.port_flow[p];
     } else {
-      sol.port_flow[p] = g_edge * cell_pressure;
+      sol.port_flow[p] = g * cell_pressure;
       outflow += sol.port_flow[p];
     }
   }
-  LCN_CHECK(inflow > 0.0, "system inflow must be positive");
+  // A network whose inlets were all lost (e.g. blocked by an injected fault)
+  // solves to a zero field; that is a degenerate input, not a library bug.
+  if (!(inflow > 0.0)) {
+    throw RuntimeError("flow solve: no inflow at any inlet (pump decoupled)");
+  }
   sol.system_flow = 0.5 * (inflow + outflow);  // equal up to solver residual
   return sol;
 }

@@ -25,6 +25,13 @@ struct FlowOptions {
   /// capture entrance/exit losses; 0.5 halves the bulk value.
   double edge_conductance_factor = 0.5;
   double rel_tolerance = 1e-11;
+  /// Per-cell hydraulic conductance scale factors indexed by grid linear id
+  /// (empty = nominal everywhere). A cell-to-cell conductance uses the
+  /// harmonic mean of the two cell factors (two constricted half-segments in
+  /// series); a port conductance scales by its cell's factor. Factors must
+  /// be positive — fully blocked cells are removed from the network instead
+  /// (see src/reliability). All-ones reproduces the nominal field exactly.
+  std::vector<double> cell_conductance_scale;
 };
 
 /// Flow field at a reference system pressure drop `p_ref` (normally 1 Pa).

@@ -47,6 +47,15 @@ void CoolingNetwork::add_port(const Port& port) {
   ports_.push_back(port);
 }
 
+std::size_t CoolingNetwork::remove_ports_at(int row, int col) {
+  LCN_REQUIRE(grid_.in_bounds(row, col), "remove_ports_at: cell out of bounds");
+  const std::size_t before = ports_.size();
+  std::erase_if(ports_, [row, col](const Port& port) {
+    return port.row == row && port.col == col;
+  });
+  return before - ports_.size();
+}
+
 std::size_t CoolingNetwork::liquid_count() const {
   return static_cast<std::size_t>(
       std::count(cells_.begin(), cells_.end(), CellKind::kLiquid));

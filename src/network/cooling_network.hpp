@@ -50,6 +50,9 @@ class CoolingNetwork {
   void add_port(const Port& port);
   const std::vector<Port>& ports() const { return ports_; }
   void clear_ports() { ports_.clear(); }
+  /// Drop every port opening into the cell; returns how many were removed.
+  /// Pairs with set_solid when a fault or an edit removes a boundary cell.
+  std::size_t remove_ports_at(int row, int col);
 
   std::size_t liquid_count() const;
   /// Linear indices (row-major) of all liquid cells, ascending.

@@ -48,6 +48,14 @@ std::uint64_t problem_fingerprint(const CoolingProblem& problem) {
   fnv.mix_double(problem.inlet_temperature);
   fnv.mix_double(problem.ambient_conductance);
   fnv.mix_double(problem.ambient_temperature);
+  // Flow options change the solved field (reliability fault injection scales
+  // per-cell conductances through them), so they are part of the identity.
+  fnv.mix_double(problem.flow_options.edge_conductance_factor);
+  fnv.mix_double(problem.flow_options.rel_tolerance);
+  fnv.mix(problem.flow_options.cell_conductance_scale.size());
+  for (const double s : problem.flow_options.cell_conductance_scale) {
+    fnv.mix_double(s);
+  }
   return fnv.value();
 }
 

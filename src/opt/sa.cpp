@@ -91,6 +91,17 @@ TreeTopologyOptimizer::TreeTopologyOptimizer(const BenchmarkCase& bench,
   problem_fp_ = problem_fingerprint(bench_.problem);
 }
 
+void TreeTopologyOptimizer::enable_robust_mode(const RobustOptions& options) {
+  robust_ = RobustSample(
+      bench_.problem.grid,
+      static_cast<int>(bench_.problem.source_power.size()), options);
+  // Robust scores live in a different universe than nominal ones; re-key the
+  // cache so entries from either mode never alias the other.
+  problem_fp_ =
+      problem_fingerprint(bench_.problem) ^ robust_.fingerprint();
+  cache_.clear();
+}
+
 CoolingNetwork TreeTopologyOptimizer::realize(const TreeLayout& layout,
                                               int direction) const {
   CoolingNetwork net = make_tree_network(bench_.problem.grid, layout)
@@ -108,19 +119,24 @@ EvalResult TreeTopologyOptimizer::evaluate_network(
   if (!check_design_rules(network, rules).ok()) {
     return EvalResult::infeasible_result();
   }
-  const EvalCacheKey key = make_eval_key(
-      problem_fp_, network, sim,
-      objective_ == DesignObjective::kPumpingPower ? EvalMode::kFullP1
-                                                   : EvalMode::kFullP2);
+  const EvalMode mode = objective_ == DesignObjective::kPumpingPower
+                            ? EvalMode::kFullP1
+                            : EvalMode::kFullP2;
+  const EvalCacheKey key = make_eval_key(problem_fp_, network, sim, mode);
   if (const auto cached = cache_.find(key)) return *cached;
   EvalResult result;
-  try {
-    SystemEvaluator eval(bench_.problem, network, sim);
-    result = objective_ == DesignObjective::kPumpingPower
-                 ? evaluate_p1(eval, constraints_, search_options_)
-                 : evaluate_p2(eval, constraints_, search_options_);
-  } catch (const RuntimeError&) {
-    result = EvalResult::infeasible_result();
+  if (!robust_.empty()) {
+    result = robust_evaluate(bench_.problem, network, constraints_, mode,
+                             sim, search_options_, robust_);
+  } else {
+    try {
+      SystemEvaluator eval(bench_.problem, network, sim);
+      result = objective_ == DesignObjective::kPumpingPower
+                   ? evaluate_p1(eval, constraints_, search_options_)
+                   : evaluate_p2(eval, constraints_, search_options_);
+    } catch (const RuntimeError&) {
+      result = EvalResult::infeasible_result();
+    }
   }
   cache_.store(key, result);
   return result;
@@ -267,24 +283,32 @@ DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
           make_eval_key(problem_fp_, net, stage.sim, mode, key_pressure);
       if (const auto cached = cache_.find(key)) return *cached;
       EvalResult result;
-      try {
-        SystemEvaluator eval(bench_.problem, net, stage.sim);
-        if (stage.fixed_pressure_cost) {
-          // ΔT at a fixed pressure: one simulation (§4.4 stage 1).
-          result.feasible = true;
-          result.p_sys = fixed_pressure;
-          result.w_pump = eval.pumping_power(fixed_pressure);
-          result.at_p = eval.probe(fixed_pressure);
-          result.score = result.at_p.delta_t;
-        } else if (objective_ == DesignObjective::kPumpingPower) {
-          result = evaluate_p1(eval, constraints_, search_options_);
-        } else if (stage.group_size > 1 && !leader) {
-          result = evaluate_p2_at(eval, constraints_, group_pressure);
-        } else {
-          result = evaluate_p2(eval, constraints_, search_options_);
+      if (!robust_.empty() &&
+          (mode == EvalMode::kFullP1 || mode == EvalMode::kFullP2)) {
+        // Robust mode: worst case over the fixed fault sample. The cheap
+        // fixed-pressure / follower probes keep nominal scoring.
+        result = robust_evaluate(bench_.problem, net, constraints_, mode,
+                                 stage.sim, search_options_, robust_);
+      } else {
+        try {
+          SystemEvaluator eval(bench_.problem, net, stage.sim);
+          if (stage.fixed_pressure_cost) {
+            // ΔT at a fixed pressure: one simulation (§4.4 stage 1).
+            result.feasible = true;
+            result.p_sys = fixed_pressure;
+            result.w_pump = eval.pumping_power(fixed_pressure);
+            result.at_p = eval.probe(fixed_pressure);
+            result.score = result.at_p.delta_t;
+          } else if (objective_ == DesignObjective::kPumpingPower) {
+            result = evaluate_p1(eval, constraints_, search_options_);
+          } else if (stage.group_size > 1 && !leader) {
+            result = evaluate_p2_at(eval, constraints_, group_pressure);
+          } else {
+            result = evaluate_p2(eval, constraints_, search_options_);
+          }
+        } catch (const RuntimeError&) {
+          result = EvalResult::infeasible_result();
         }
-      } catch (const RuntimeError&) {
-        result = EvalResult::infeasible_result();
       }
       cache_.store(key, result);
       return result;

@@ -23,6 +23,7 @@
 #include "network/generators.hpp"
 #include "opt/eval_cache.hpp"
 #include "opt/evaluator.hpp"
+#include "reliability/robust.hpp"
 
 namespace lcn {
 
@@ -93,6 +94,16 @@ class TreeTopologyOptimizer {
   /// bench instrumentation.
   const EvaluatorCache& cache() const { return cache_; }
 
+  /// Opt-in robust mode (DESIGN.md §S17): every full network evaluation
+  /// becomes the worst case over a fixed fault sample drawn here from the
+  /// problem grid, so the SA prefers designs that survive degradation.
+  /// Fixed-pressure and grouped-follower probes keep nominal scoring (they
+  /// exist to be cheap). The sample fingerprint is mixed into the cache
+  /// fingerprint, so robust and nominal probes never alias. Call before
+  /// run().
+  void enable_robust_mode(const RobustOptions& options);
+  const RobustSample& robust_sample() const { return robust_; }
+
  private:
   TreeLayout initial_layout() const;
   TreeLayout mutate(const TreeLayout& layout, int step, Rng& rng) const;
@@ -106,6 +117,7 @@ class TreeTopologyOptimizer {
   PressureSearchOptions search_options_;
   std::uint64_t problem_fp_ = 0;
   mutable EvaluatorCache cache_;
+  RobustSample robust_;
 };
 
 struct BaselineOutcome {

@@ -1,0 +1,239 @@
+#include "reliability/fault_model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/strings.hpp"
+
+namespace lcn {
+
+namespace {
+
+class Fnv {
+ public:
+  void mix(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h_ ^= (v >> (byte * 8)) & 0xffULL;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void mix_double(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+/// Liquid cell nearest to (row, col): smallest squared Euclidean distance,
+/// ties broken by the ascending scan order (lowest linear id), so the mapping
+/// is deterministic for any candidate network. Returns the grid linear id,
+/// or SIZE_MAX when the network has no liquid cells.
+std::size_t nearest_liquid_cell(const Grid2D& grid,
+                                const std::vector<std::size_t>& liquid,
+                                int row, int col) {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  long best_d2 = std::numeric_limits<long>::max();
+  for (const std::size_t cell : liquid) {
+    const CellCoord cc = grid.coord(cell);
+    const long dr = cc.row - row;
+    const long dc = cc.col - col;
+    const long d2 = dr * dr + dc * dc;
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = cell;
+    }
+  }
+  return best;
+}
+
+void apply_blockage(DegradedSystem& sys, const Fault& fault) {
+  const Grid2D& grid = sys.network.grid();
+  // Collect the affected liquid cells: each patch cell maps to the nearest
+  // liquid cell (dedup'd), so a blockage defined on a solid region still
+  // lands on the channel it would clog in practice.
+  const std::vector<std::size_t> liquid = sys.network.liquid_cells();
+  std::vector<std::size_t> targets;
+  for (int r = fault.row - fault.radius; r <= fault.row + fault.radius; ++r) {
+    for (int c = fault.col - fault.radius; c <= fault.col + fault.radius;
+         ++c) {
+      const std::size_t cell = nearest_liquid_cell(grid, liquid, r, c);
+      if (cell == std::numeric_limits<std::size_t>::max()) continue;
+      if (std::find(targets.begin(), targets.end(), cell) == targets.end()) {
+        targets.push_back(cell);
+      }
+    }
+  }
+  if (fault.severity >= 1.0) {
+    for (const std::size_t cell : targets) {
+      const CellCoord cc = grid.coord(cell);
+      sys.network.remove_ports_at(cc.row, cc.col);
+      sys.network.set_solid(cc.row, cc.col);
+    }
+    return;
+  }
+  if (fault.severity <= 0.0) return;  // zero-magnitude: bit-identical system
+  std::vector<double>& scale =
+      sys.problem.flow_options.cell_conductance_scale;
+  if (scale.empty()) scale.assign(grid.cell_count(), 1.0);
+  const double factor = std::max(1.0 - fault.severity, 1e-6);
+  for (const std::size_t cell : targets) {
+    scale[cell] = std::max(scale[cell] * factor, 1e-6);
+  }
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kChannelBlockage: return "block";
+    case FaultKind::kPumpDroop: return "droop";
+    case FaultKind::kInletDrift: return "drift";
+    case FaultKind::kPowerExcursion: return "power";
+  }
+  return "?";
+}
+
+std::string FaultScenario::describe() const {
+  if (faults.empty()) return "nominal";
+  std::string out;
+  for (const Fault& fault : faults) {
+    if (!out.empty()) out += " + ";
+    switch (fault.kind) {
+      case FaultKind::kChannelBlockage:
+        out += strfmt("block(%d,%d r%d %s)", fault.row, fault.col,
+                      fault.radius,
+                      fault.severity >= 1.0
+                          ? "full"
+                          : strfmt("%.0f%%", fault.severity * 100.0).c_str());
+        break;
+      case FaultKind::kPumpDroop:
+        out += strfmt("droop(%.0f%%)", fault.severity * 100.0);
+        break;
+      case FaultKind::kInletDrift:
+        out += strfmt("drift(+%.1fK)", fault.magnitude);
+        break;
+      case FaultKind::kPowerExcursion:
+        out += fault.layer < 0
+                   ? strfmt("power(all +%.0f%%)", fault.magnitude * 100.0)
+                   : strfmt("power(L%d +%.0f%%)", fault.layer,
+                            fault.magnitude * 100.0);
+        break;
+    }
+  }
+  return out;
+}
+
+std::uint64_t scenario_fingerprint(const FaultScenario& scenario) {
+  Fnv fnv;
+  fnv.mix(scenario.faults.size());
+  for (const Fault& fault : scenario.faults) {
+    fnv.mix(static_cast<std::uint64_t>(fault.kind));
+    fnv.mix(static_cast<std::uint64_t>(fault.row));
+    fnv.mix(static_cast<std::uint64_t>(fault.col));
+    fnv.mix(static_cast<std::uint64_t>(fault.radius));
+    fnv.mix_double(fault.severity);
+    fnv.mix_double(fault.magnitude);
+    fnv.mix(static_cast<std::uint64_t>(fault.layer));
+  }
+  return fnv.value();
+}
+
+DegradedSystem apply_scenario(const CoolingProblem& nominal,
+                              const CoolingNetwork& network,
+                              const FaultScenario& scenario) {
+  LCN_REQUIRE(network.grid() == nominal.grid,
+              "apply_scenario: network grid must match the problem grid");
+  DegradedSystem sys{nominal, network, 1.0};
+  for (const Fault& fault : scenario.faults) {
+    switch (fault.kind) {
+      case FaultKind::kChannelBlockage:
+        apply_blockage(sys, fault);
+        break;
+      case FaultKind::kPumpDroop:
+        LCN_REQUIRE(fault.severity >= 0.0 && fault.severity < 1.0,
+                    "pump droop severity must be in [0, 1)");
+        sys.pressure_derate *= 1.0 - fault.severity;
+        break;
+      case FaultKind::kInletDrift:
+        sys.problem.inlet_temperature += fault.magnitude;
+        break;
+      case FaultKind::kPowerExcursion: {
+        const auto layers =
+            static_cast<int>(sys.problem.source_power.size());
+        LCN_REQUIRE(fault.layer < layers,
+                    "power excursion layer out of range");
+        for (int l = 0; l < layers; ++l) {
+          if (fault.layer >= 0 && l != fault.layer) continue;
+          PowerMap& map = sys.problem.source_power[static_cast<std::size_t>(l)];
+          for (int r = 0; r < map.grid().rows(); ++r) {
+            for (int c = 0; c < map.grid().cols(); ++c) {
+              map.at(r, c) *= 1.0 + fault.magnitude;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return sys;
+}
+
+FaultScenario sample_scenario(const FaultDistribution& distribution,
+                              const Grid2D& grid, int source_layers,
+                              Rng& rng) {
+  FaultScenario scenario;
+  for (int k = 0; k < distribution.max_blockages; ++k) {
+    if (rng.next_double() >= distribution.p_blockage) break;
+    Fault fault;
+    fault.kind = FaultKind::kChannelBlockage;
+    fault.row = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(grid.rows())));
+    fault.col = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(grid.cols())));
+    fault.radius = distribution.radius_max > 0
+                       ? static_cast<int>(rng.next_below(
+                             static_cast<std::uint64_t>(
+                                 distribution.radius_max + 1)))
+                       : 0;
+    fault.severity =
+        rng.next_double() < distribution.full_blockage_fraction
+            ? 1.0
+            : rng.next_real(distribution.severity_min,
+                            distribution.severity_max);
+    scenario.faults.push_back(fault);
+  }
+  if (rng.next_double() < distribution.p_pump_droop) {
+    Fault fault;
+    fault.kind = FaultKind::kPumpDroop;
+    fault.severity = rng.next_real(0.0, distribution.droop_max);
+    scenario.faults.push_back(fault);
+  }
+  if (rng.next_double() < distribution.p_inlet_drift) {
+    Fault fault;
+    fault.kind = FaultKind::kInletDrift;
+    fault.magnitude = rng.next_real(0.0, distribution.drift_max);
+    scenario.faults.push_back(fault);
+  }
+  if (rng.next_double() < distribution.p_power_excursion && source_layers > 0) {
+    Fault fault;
+    fault.kind = FaultKind::kPowerExcursion;
+    fault.magnitude = rng.next_real(0.0, distribution.excursion_max);
+    // One extra slot means "all layers at once".
+    const auto pick = rng.next_below(
+        static_cast<std::uint64_t>(source_layers) + 1);
+    fault.layer = pick == static_cast<std::uint64_t>(source_layers)
+                      ? -1
+                      : static_cast<int>(pick);
+    scenario.faults.push_back(fault);
+  }
+  return scenario;
+}
+
+Rng scenario_rng(std::uint64_t seed, std::size_t index) {
+  SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(index) *
+                        0x9e3779b97f4a7c15ULL));
+  return Rng(sm.next());
+}
+
+}  // namespace lcn

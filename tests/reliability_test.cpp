@@ -1,0 +1,381 @@
+// Reliability engine (DESIGN.md §S17): fault-model semantics, graceful
+// degradation, and the Monte-Carlo sweep's determinism contract — identical
+// statistics, bit for bit, at any thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/instrument.hpp"
+#include "common/thread_pool.hpp"
+#include "geom/benchmarks.hpp"
+#include "network/generators.hpp"
+#include "opt/sa.hpp"
+#include "reliability/fault_model.hpp"
+#include "reliability/robust.hpp"
+#include "reliability/sweep.hpp"
+
+namespace lcn {
+namespace {
+
+CoolingProblem small_problem() {
+  CoolingProblem problem;
+  problem.grid = Grid2D(31, 31, 100e-6);
+  problem.stack = make_interlayer_stack(2, 200e-6);
+  problem.source_power.push_back(
+      synthesize_power_map(problem.grid, 4.0, 31));
+  problem.source_power.push_back(
+      synthesize_power_map(problem.grid, 3.2, 32));
+  return problem;
+}
+
+CoolingNetwork tree_network(const CoolingProblem& problem) {
+  return make_tree_network(problem.grid,
+                           make_uniform_layout(problem.grid, 10, 20));
+}
+
+DesignConstraints loose_limits() {
+  DesignConstraints limits;
+  limits.delta_t_max = 40.0;
+  limits.t_max = 500.0;
+  return limits;
+}
+
+SweepOptions small_sweep_options(int scenarios = 24) {
+  SweepOptions options;
+  options.scenarios = scenarios;
+  options.seed = 77;
+  options.sim = SimConfig{ThermalModelKind::k2RM, 4};
+  options.search.rel_precision = 1e-2;
+  options.search.max_probes = 40;
+  return options;
+}
+
+TEST(FaultModelTest, ZeroMagnitudeScenarioReproducesNominalProbeExactly) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = tree_network(problem);
+  SystemEvaluator nominal(problem, net, SimConfig{ThermalModelKind::k2RM, 4});
+  const ThermalProbe reference = nominal.probe(5000.0);
+
+  FaultScenario zero;
+  zero.faults.push_back(
+      {FaultKind::kChannelBlockage, 8, 8, 1, /*severity=*/0.0, 0.0, -1});
+  zero.faults.push_back({FaultKind::kPumpDroop, 0, 0, 0, 0.0, 0.0, -1});
+  zero.faults.push_back({FaultKind::kInletDrift, 0, 0, 0, 0.0, 0.0, -1});
+  zero.faults.push_back({FaultKind::kPowerExcursion, 0, 0, 0, 0.0, 0.0, -1});
+  const DegradedSystem degraded = apply_scenario(problem, net, zero);
+
+  EXPECT_EQ(degraded.network, net);
+  EXPECT_EQ(degraded.pressure_derate, 1.0);
+  EXPECT_TRUE(degraded.problem.flow_options.cell_conductance_scale.empty());
+  SystemEvaluator eval(degraded.problem, degraded.network,
+                       SimConfig{ThermalModelKind::k2RM, 4});
+  const ThermalProbe probe = eval.probe(5000.0);
+  EXPECT_EQ(reference.delta_t, probe.delta_t);
+  EXPECT_EQ(reference.t_max, probe.t_max);
+}
+
+TEST(FaultModelTest, PartialBlockageRaisesResistanceAndPeakTemperature) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = tree_network(problem);
+  SystemEvaluator nominal(problem, net, SimConfig{ThermalModelKind::k2RM, 4});
+  const ThermalProbe ref = nominal.probe(5000.0);
+  const double w_ref = nominal.pumping_power(5000.0);
+
+  // Clog the west half, where every tree's trunk enters: with all trunks
+  // throttled the network must run hotter at the same pressure.
+  FaultScenario scenario;
+  scenario.faults.push_back(
+      {FaultKind::kChannelBlockage, 15, 0, 15, /*severity=*/0.9, 0.0, -1});
+  const DegradedSystem degraded = apply_scenario(problem, net, scenario);
+  ASSERT_FALSE(degraded.problem.flow_options.cell_conductance_scale.empty());
+  EXPECT_EQ(degraded.network, net);  // partial blockage keeps the geometry
+
+  SystemEvaluator eval(degraded.problem, degraded.network,
+                       SimConfig{ThermalModelKind::k2RM, 4});
+  // Higher hydraulic resistance => less coolant at the same pressure =>
+  // lower pumping power and a hotter chip.
+  EXPECT_LT(eval.pumping_power(5000.0), w_ref);
+  EXPECT_GT(eval.probe(5000.0).t_max, ref.t_max);
+}
+
+TEST(FaultModelTest, FullyBlockedInletBranchIsInfeasible) {
+  const CoolingProblem problem = small_problem();
+  // A serpentine has exactly one inlet; fully blocking its cell leaves a
+  // liquid network whose pump is decoupled — no flow, no evaluation.
+  CoolingNetwork net = make_serpentine(problem.grid);
+  ASSERT_EQ(net.ports().size(), 2u);
+  const Port inlet = net.ports().front().kind == PortKind::kInlet
+                         ? net.ports().front()
+                         : net.ports().back();
+
+  FaultScenario scenario;
+  scenario.faults.push_back({FaultKind::kChannelBlockage, inlet.row,
+                             inlet.col, 0, /*severity=*/1.0, 0.0, -1});
+  const DegradedSystem degraded = apply_scenario(problem, net, scenario);
+  EXPECT_LT(degraded.network.liquid_count(), net.liquid_count());
+
+  const ScenarioOutcome outcome =
+      evaluate_scenario(degraded, scenario, loose_limits(), 5000.0,
+                        small_sweep_options());
+  EXPECT_FALSE(outcome.evaluated);
+  EXPECT_FALSE(outcome.feasible);
+  EXPECT_EQ(outcome.recovery, RecoveryKind::kUnrecoverable);
+}
+
+TEST(FaultModelTest, PumpDroopAndDriftComposeIntoDegradedSystem) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = tree_network(problem);
+  FaultScenario scenario;
+  scenario.faults.push_back({FaultKind::kPumpDroop, 0, 0, 0, 0.2, 0.0, -1});
+  scenario.faults.push_back({FaultKind::kPumpDroop, 0, 0, 0, 0.5, 0.0, -1});
+  scenario.faults.push_back({FaultKind::kInletDrift, 0, 0, 0, 0.0, 5.0, -1});
+  scenario.faults.push_back(
+      {FaultKind::kPowerExcursion, 0, 0, 0, 0.0, 0.25, 1});
+  const DegradedSystem degraded = apply_scenario(problem, net, scenario);
+  EXPECT_DOUBLE_EQ(degraded.pressure_derate, 0.8 * 0.5);
+  EXPECT_DOUBLE_EQ(degraded.delivered_pressure(1000.0), 400.0);
+  EXPECT_DOUBLE_EQ(degraded.problem.inlet_temperature,
+                   problem.inlet_temperature + 5.0);
+  EXPECT_NEAR(degraded.problem.source_power[1].total(),
+              1.25 * problem.source_power[1].total(), 1e-9);
+  EXPECT_DOUBLE_EQ(degraded.problem.source_power[0].total(),
+                   problem.source_power[0].total());
+  // The nominal inputs are untouched.
+  EXPECT_DOUBLE_EQ(problem.inlet_temperature, 300.0);
+}
+
+TEST(FaultModelTest, ScenarioSamplingIsAPureFunctionOfSeedAndIndex) {
+  FaultDistribution dist;
+  dist.p_blockage = 1.0;  // scenarios always non-empty, so seeds can't alias
+  const Grid2D grid(31, 31, 100e-6);
+  for (const std::size_t index : {std::size_t{0}, std::size_t{7}}) {
+    Rng a = scenario_rng(123, index);
+    Rng b = scenario_rng(123, index);
+    const FaultScenario sa = sample_scenario(dist, grid, 2, a);
+    const FaultScenario sb = sample_scenario(dist, grid, 2, b);
+    EXPECT_EQ(sa.faults, sb.faults);
+    EXPECT_EQ(scenario_fingerprint(sa), scenario_fingerprint(sb));
+  }
+  Rng a = scenario_rng(123, 0);
+  Rng b = scenario_rng(124, 0);
+  const FaultScenario sa = sample_scenario(dist, grid, 2, a);
+  const FaultScenario sb = sample_scenario(dist, grid, 2, b);
+  EXPECT_NE(scenario_fingerprint(sa), scenario_fingerprint(sb));
+}
+
+TEST(SweepTest, DroopOnlyScenarioIsRecoverableWithHigherCommand) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = tree_network(problem);
+  DesignConstraints limits;
+  limits.delta_t_max = 12.0;
+  limits.t_max = 400.0;
+
+  // Find the nominal operating point, then starve the pump by 40%: the
+  // delivered pressure falls below the feasibility threshold and the planner
+  // must find a higher command that restores it.
+  const SweepOptions options = small_sweep_options();
+  SystemEvaluator eval(problem, net, SimConfig{ThermalModelKind::k2RM, 4});
+  const EvalResult nominal = evaluate_p1(eval, limits, options.search);
+  ASSERT_TRUE(nominal.feasible);
+
+  FaultScenario scenario;
+  scenario.faults.push_back({FaultKind::kPumpDroop, 0, 0, 0, 0.4, 0.0, -1});
+  const DegradedSystem degraded = apply_scenario(problem, net, scenario);
+  const ScenarioOutcome outcome =
+      evaluate_scenario(degraded, scenario, limits, nominal.p_sys, options);
+  ASSERT_TRUE(outcome.evaluated);
+  EXPECT_FALSE(outcome.feasible);
+  ASSERT_EQ(outcome.recovery, RecoveryKind::kRecovered);
+  // The recovery command exceeds the nominal one (it must out-shout the
+  // droop) and its pumping power is at least the nominal operating cost.
+  EXPECT_GT(outcome.recovery_p_sys, nominal.p_sys);
+  EXPECT_GE(outcome.recovery_w_pump, nominal.w_pump * (1.0 - 1e-6));
+}
+
+TEST(SweepTest, ReportStatisticsAreConsistent) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = tree_network(problem);
+  const SweepReport report = run_sweep(problem, net, loose_limits(), 5000.0,
+                                       small_sweep_options(16));
+  ASSERT_EQ(report.outcomes.size(), 16u);
+  EXPECT_GE(report.p_exceed_t_max, 0.0);
+  EXPECT_LE(report.p_exceed_t_max, 1.0);
+  EXPECT_GE(report.p_exceed_delta_t, 0.0);
+  EXPECT_LE(report.p_exceed_delta_t, 1.0);
+  EXPECT_EQ(report.infeasible,
+            report.recovered + report.unrecoverable);
+  EXPECT_GE(report.worst_scenario, 0);
+  EXPECT_LT(report.worst_scenario, 16);
+  EXPECT_GE(report.t_margin_q90, report.t_margin_q50);
+  EXPECT_GE(report.t_margin_q50, report.t_margin_q10);
+  // The loose limits keep the nominal design feasible.
+  EXPECT_LT(report.nominal.t_max, loose_limits().t_max);
+}
+
+TEST(SweepTest, SweepBumpsInstrumentationCounters) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = tree_network(problem);
+  const instrument::Snapshot before = instrument::snapshot();
+  const SweepReport report = run_sweep(problem, net, loose_limits(), 5000.0,
+                                       small_sweep_options(12));
+  const instrument::Snapshot delta =
+      instrument::delta(before, instrument::snapshot());
+  EXPECT_EQ(delta.scenarios_evaluated, 12u);
+  EXPECT_EQ(delta.scenarios_infeasible,
+            static_cast<std::uint64_t>(report.infeasible));
+  EXPECT_GE(delta.recovery_searches,
+            static_cast<std::uint64_t>(report.recovered));
+  // The new counters are part of the JSON record schema.
+  EXPECT_NE(delta.json().find("\"scenarios_evaluated\":12"),
+            std::string::npos);
+}
+
+TEST(RobustTest, EmptySampleEqualsNominalEvaluation) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = tree_network(problem);
+  DesignConstraints limits;
+  limits.delta_t_max = 12.0;
+  limits.t_max = 400.0;
+  SystemEvaluator eval(problem, net, SimConfig{ThermalModelKind::k2RM, 4});
+  const EvalResult nominal = evaluate_p1(eval, limits);
+
+  const EvalResult robust = robust_evaluate(
+      problem, net, limits, EvalMode::kFullP1,
+      SimConfig{ThermalModelKind::k2RM, 4}, PressureSearchOptions{},
+      RobustSample{});
+  EXPECT_EQ(nominal.feasible, robust.feasible);
+  EXPECT_EQ(nominal.score, robust.score);
+}
+
+TEST(RobustTest, WorstCaseScoreIsNoBetterThanNominal) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = tree_network(problem);
+  DesignConstraints limits;
+  limits.delta_t_max = 20.0;
+  limits.t_max = 450.0;
+  const SimConfig sim{ThermalModelKind::k2RM, 4};
+
+  SystemEvaluator eval(problem, net, sim);
+  const EvalResult nominal = evaluate_p1(eval, limits);
+  ASSERT_TRUE(nominal.feasible);
+
+  RobustOptions options;
+  options.scenarios = 3;
+  options.seed = 5;
+  // Keep the sample gentle so the degraded variants stay feasible.
+  options.distribution.full_blockage_fraction = 0.0;
+  options.distribution.severity_max = 0.5;
+  const RobustSample sample(problem.grid, 2, options);
+  ASSERT_EQ(sample.scenarios().size(), 3u);
+
+  const EvalResult robust =
+      robust_evaluate(problem, net, limits, EvalMode::kFullP1, sim,
+                      PressureSearchOptions{}, sample);
+  if (robust.feasible) {
+    EXPECT_GE(robust.score, nominal.score);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across thread counts (the PR-1 contract extended to sweeps).
+
+class ReliabilityParallel : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { set_global_pool_threads(GetParam()); }
+  static void TearDownTestSuite() { set_global_pool_threads(0); }
+};
+
+void expect_reports_identical(const SweepReport& a, const SweepReport& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t k = 0; k < a.outcomes.size(); ++k) {
+    const ScenarioOutcome& x = a.outcomes[k];
+    const ScenarioOutcome& y = b.outcomes[k];
+    EXPECT_EQ(x.scenario.faults, y.scenario.faults) << "scenario " << k;
+    EXPECT_EQ(x.evaluated, y.evaluated) << "scenario " << k;
+    EXPECT_EQ(x.feasible, y.feasible) << "scenario " << k;
+    EXPECT_EQ(x.p_delivered, y.p_delivered) << "scenario " << k;
+    EXPECT_EQ(x.w_pump, y.w_pump) << "scenario " << k;
+    EXPECT_EQ(x.at_p.t_max, y.at_p.t_max) << "scenario " << k;
+    EXPECT_EQ(x.at_p.delta_t, y.at_p.delta_t) << "scenario " << k;
+    EXPECT_EQ(x.recovery, y.recovery) << "scenario " << k;
+    EXPECT_EQ(x.recovery_p_sys, y.recovery_p_sys) << "scenario " << k;
+    EXPECT_EQ(x.recovery_w_pump, y.recovery_w_pump) << "scenario " << k;
+  }
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.unrecoverable, b.unrecoverable);
+  EXPECT_EQ(a.p_exceed_t_max, b.p_exceed_t_max);
+  EXPECT_EQ(a.p_exceed_delta_t, b.p_exceed_delta_t);
+  EXPECT_EQ(a.t_margin_q10, b.t_margin_q10);
+  EXPECT_EQ(a.t_margin_q50, b.t_margin_q50);
+  EXPECT_EQ(a.t_margin_q90, b.t_margin_q90);
+  EXPECT_EQ(a.dt_margin_q10, b.dt_margin_q10);
+  EXPECT_EQ(a.dt_margin_q50, b.dt_margin_q50);
+  EXPECT_EQ(a.dt_margin_q90, b.dt_margin_q90);
+  EXPECT_EQ(a.worst_scenario, b.worst_scenario);
+  EXPECT_EQ(a.mean_recovery_w_extra, b.mean_recovery_w_extra);
+}
+
+TEST_P(ReliabilityParallel, SweepStatisticsIndependentOfThreadCount) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = tree_network(problem);
+  DesignConstraints limits;
+  limits.delta_t_max = 12.0;
+  limits.t_max = 380.0;
+
+  static const SweepReport reference = [&] {
+    set_global_pool_threads(1);
+    return run_sweep(problem, net, limits, 5000.0, small_sweep_options());
+  }();
+  set_global_pool_threads(GetParam());
+  const SweepReport report =
+      run_sweep(problem, net, limits, 5000.0, small_sweep_options());
+  expect_reports_identical(reference, report);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ReliabilityParallel,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{4}, std::size_t{8}),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(RobustSaTest, RobustSaRunIsDeterministicAcrossThreadCounts) {
+  BenchmarkCase bench;
+  bench.id = 97;
+  bench.name = "robust-sa";
+  bench.problem = small_problem();
+  bench.constraints.delta_t_max = 14.0;
+  bench.constraints.t_max = 420.0;
+
+  RobustOptions robust;
+  robust.scenarios = 2;
+  robust.seed = 9;
+  robust.distribution.full_blockage_fraction = 0.0;
+  robust.distribution.severity_max = 0.5;
+
+  auto run_once = [&]() {
+    TreeTopologyOptimizer opt(bench, DesignObjective::kPumpingPower, 7);
+    opt.enable_robust_mode(robust);
+    std::vector<SaStage> stages;
+    stages.push_back(
+        {"robust", 2, 1, 2, 4, SimConfig{ThermalModelKind::k2RM, 4}, false,
+         1});
+    const DesignOutcome outcome = opt.run(stages);
+    return std::pair{outcome.network.content_hash(), outcome.eval.score};
+  };
+
+  set_global_pool_threads(1);
+  const auto reference = run_once();
+  set_global_pool_threads(4);
+  const auto parallel = run_once();
+  set_global_pool_threads(0);
+  EXPECT_EQ(reference.first, parallel.first);
+  EXPECT_EQ(reference.second, parallel.second);
+}
+
+}  // namespace
+}  // namespace lcn
