@@ -1,0 +1,229 @@
+// S18 — symbolic/numeric split of the assembly pipeline: throughput of
+// fresh per-probe assembly (symbolic analysis + numeric fill, the historical
+// behavior) vs numeric refill on a cached AssemblyPlan, for the 2RM and 4RM
+// models, plus steady-probe throughput with and without a persistent
+// SteadyWorkspace. Every measurement is appended to
+// bench_results/BENCH_assembly.json; the refilled systems are checked
+// bit-identical to fresh ones before anything is timed.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "geom/benchmarks.hpp"
+#include "network/generators.hpp"
+#include "thermal/model_2rm.hpp"
+#include "thermal/model_4rm.hpp"
+
+namespace {
+
+using namespace lcn;
+
+double probe_pressure(int i) { return 3000.0 + 7.0 * static_cast<double>(i); }
+
+bool bit_identical(const AssembledThermal& a, const AssembledThermal& b) {
+  return a.matrix.row_ptr() == b.matrix.row_ptr() &&
+         a.matrix.col_idx() == b.matrix.col_idx() &&
+         a.matrix.values() == b.matrix.values() && a.rhs == b.rhs;
+}
+
+struct Measured {
+  double seconds = 0.0;
+  double per_probe_us = 0.0;
+  instrument::Snapshot counters;
+};
+
+void report(const char* config, const Measured& m, int reps,
+            double extra_speedup = 0.0) {
+  std::printf("  %-16s %8.2f us/probe  (%d probes, %.3f s total)\n", config,
+              m.per_probe_us, reps, m.seconds);
+  benchutil::PerfRecord record;
+  record.bench = "bench_assembly";
+  record.config = config;
+  record.threads = global_pool_threads();
+  record.seconds = m.seconds;
+  record.metrics.emplace_back("per_probe_us", m.per_probe_us);
+  record.metrics.emplace_back("probes", static_cast<double>(reps));
+  if (extra_speedup > 0.0) {
+    record.metrics.emplace_back("speedup_vs_fresh", extra_speedup);
+  }
+  record.counters = m.counters;
+  benchutil::append_perf_record(record, "BENCH_assembly.json");
+}
+
+/// Time `reps` fresh assemblies: each model below has never assembled, so its
+/// first assemble() pays the full symbolic + numeric cost — the historical
+/// per-probe price.
+template <class Model>
+Measured time_fresh(std::vector<Model>& virgin_models) {
+  Measured m;
+  const instrument::Snapshot before = instrument::snapshot();
+  const WallTimer timer;
+  for (std::size_t i = 0; i < virgin_models.size(); ++i) {
+    const AssembledThermal sys =
+        virgin_models[i].assemble(probe_pressure(static_cast<int>(i)));
+    (void)sys;
+  }
+  m.seconds = timer.seconds();
+  m.counters = instrument::delta(before, instrument::snapshot());
+  m.per_probe_us =
+      1e6 * m.seconds / static_cast<double>(virgin_models.size());
+  return m;
+}
+
+template <class Model>
+Measured time_refill(const Model& model, int reps) {
+  Measured m;
+  const instrument::Snapshot before = instrument::snapshot();
+  const WallTimer timer;
+  for (int i = 0; i < reps; ++i) {
+    const AssembledThermal sys = model.assemble(probe_pressure(i));
+    (void)sys;
+  }
+  m.seconds = timer.seconds();
+  m.counters = instrument::delta(before, instrument::snapshot());
+  m.per_probe_us = 1e6 * m.seconds / static_cast<double>(reps);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Assembly pipeline — fresh symbolic vs plan refill",
+                    "DESIGN.md §S18 (symbolic/numeric split)");
+  const bool fast = env_flag("LCN_FAST");
+  const BenchmarkCase bench = make_iccad_case(1);
+  const CoolingNetwork net = make_tree_network(
+      bench.problem.grid, make_uniform_layout(bench.problem.grid, 30, 64));
+
+  const int fresh_2rm = fast ? 4 : 16;
+  const int refill_2rm = fast ? 60 : 600;
+  const int fresh_4rm = fast ? 2 : 8;
+  const int refill_4rm = fast ? 20 : 200;
+  bool ok = true;
+
+  std::printf("\n2RM (m = 4), case 1, %d fresh / %d refill probes\n",
+              fresh_2rm, refill_2rm);
+  {
+    const Thermal2RM probing(bench.problem, {net}, 4);
+    // Correctness gate before timing: refill ≡ fresh, bit for bit.
+    const Thermal2RM reference(bench.problem, {net}, 4);
+    if (!bit_identical(reference.assemble(probe_pressure(0)),
+                       probing.assemble(probe_pressure(0)))) {
+      std::printf("  !! refill mismatch vs fresh assembly\n");
+      ok = false;
+    }
+    std::vector<Thermal2RM> virgins;
+    virgins.reserve(static_cast<std::size_t>(fresh_2rm));
+    for (int i = 0; i < fresh_2rm; ++i) {
+      virgins.emplace_back(bench.problem, std::vector<CoolingNetwork>{net}, 4);
+    }
+    const Measured fresh = time_fresh(virgins);
+    const Measured refill = time_refill(probing, refill_2rm);
+    const double speedup = fresh.per_probe_us / refill.per_probe_us;
+    report("2rm/fresh", fresh, fresh_2rm);
+    report("2rm/refill", refill, refill_2rm, speedup);
+    std::printf("  refill speedup: %.1fx\n", speedup);
+    if (speedup < 2.0) {
+      std::printf("  !! expected >= 2x probe throughput from refill\n");
+      ok = false;
+    }
+  }
+
+  std::printf("\n4RM, case 1, %d fresh / %d refill probes\n", fresh_4rm,
+              refill_4rm);
+  {
+    const Thermal4RM probing(bench.problem, {net});
+    const Thermal4RM reference(bench.problem, {net});
+    if (!bit_identical(reference.assemble(probe_pressure(0)),
+                       probing.assemble(probe_pressure(0)))) {
+      std::printf("  !! refill mismatch vs fresh assembly\n");
+      ok = false;
+    }
+    std::vector<Thermal4RM> virgins;
+    virgins.reserve(static_cast<std::size_t>(fresh_4rm));
+    for (int i = 0; i < fresh_4rm; ++i) {
+      virgins.emplace_back(bench.problem, std::vector<CoolingNetwork>{net});
+    }
+    const Measured fresh = time_fresh(virgins);
+    const Measured refill = time_refill(probing, refill_4rm);
+    const double speedup = fresh.per_probe_us / refill.per_probe_us;
+    report("4rm/fresh", fresh, fresh_4rm);
+    report("4rm/refill", refill, refill_4rm, speedup);
+    std::printf("  refill speedup: %.1fx\n", speedup);
+    if (speedup < 2.0) {
+      std::printf("  !! expected >= 2x probe throughput from refill\n");
+      ok = false;
+    }
+  }
+
+  // Full probe = assemble + preconditioner + steady solve, the unit the
+  // pressure searches pay per P_sys. Fresh = the seed path (full symbolic
+  // assembly, from-scratch ILU, allocating Krylov solve); refill = cached
+  // plan + numeric-only refactorization + persistent workspace. Probes walk
+  // a tight pressure ladder with warm starts, like Algorithm 2's searches.
+  const int probe_fresh_reps = fast ? 6 : 24;
+  const int probe_refill_reps = fast ? 30 : 120;
+  std::printf("\nsteady probe (assemble + solve), 2RM, %d fresh / %d refill\n",
+              probe_fresh_reps, probe_refill_reps);
+  {
+    auto ladder = [](int i) { return 4000.0 + 1.0 * static_cast<double>(i); };
+    std::vector<Thermal2RM> virgins;
+    virgins.reserve(static_cast<std::size_t>(probe_fresh_reps));
+    for (int i = 0; i < probe_fresh_reps; ++i) {
+      virgins.emplace_back(bench.problem, std::vector<CoolingNetwork>{net}, 4);
+    }
+    Measured fresh;
+    {
+      std::vector<double> warm;
+      const instrument::Snapshot before = instrument::snapshot();
+      const WallTimer timer;
+      for (int i = 0; i < probe_fresh_reps; ++i) {
+        const AssembledThermal sys = virgins[static_cast<std::size_t>(i)]
+                                         .assemble(ladder(i));
+        const ThermalField field =
+            solve_steady(sys, 1e-9, warm.empty() ? nullptr : &warm);
+        warm = field.temperatures;
+      }
+      fresh.seconds = timer.seconds();
+      fresh.counters = instrument::delta(before, instrument::snapshot());
+      fresh.per_probe_us =
+          1e6 * fresh.seconds / static_cast<double>(probe_fresh_reps);
+    }
+    const Thermal2RM sim(bench.problem, {net}, 4);
+    sim.assemble(ladder(0));  // plan built outside the timers
+    Measured refill;
+    {
+      SteadyWorkspace workspace;
+      std::vector<double> warm;
+      const instrument::Snapshot before = instrument::snapshot();
+      const WallTimer timer;
+      for (int i = 0; i < probe_refill_reps; ++i) {
+        const AssembledThermal sys = sim.assemble(ladder(i));
+        const ThermalField field = solve_steady(
+            sys, 1e-9, warm.empty() ? nullptr : &warm, &workspace);
+        warm = field.temperatures;
+      }
+      refill.seconds = timer.seconds();
+      refill.counters = instrument::delta(before, instrument::snapshot());
+      refill.per_probe_us =
+          1e6 * refill.seconds / static_cast<double>(probe_refill_reps);
+    }
+    const double speedup = fresh.per_probe_us / refill.per_probe_us;
+    report("probe/fresh", fresh, probe_fresh_reps);
+    report("probe/refill", refill, probe_refill_reps, speedup);
+    std::printf("  probe speedup: %.2fx\n", speedup);
+    if (speedup < 2.0) {
+      std::printf("  !! expected >= 2x probe throughput from refill\n");
+      ok = false;
+    }
+  }
+
+  if (!ok) {
+    std::printf("\nFAILED: see !! lines above\n");
+    return 1;
+  }
+  std::printf("\nOK\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Bit-pattern helpers for floating-point keyed caches and fingerprints.
+//
+// Memo tables parameterized by a double (the evaluator's per-P_sys probe
+// cache, the SA evaluator cache's content hashes) must use *exact-match*
+// semantics: a probe at P_sys hits only when the requester passes the very
+// same IEEE-754 bit pattern. Keying std::map/std::unordered_map on the
+// double itself gets close but is subtly wrong at the edges: +0.0 and -0.0
+// compare equal yet can mean different inputs upstream, and NaN breaks
+// ordered-map invariants entirely. Keying on the bit pattern makes the
+// semantics explicit and total.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace lcn::bits {
+
+/// The exact IEEE-754 bit pattern of `v` — the canonical cache key for a
+/// double-valued parameter. Distinguishes +0.0 from -0.0 and every NaN
+/// payload from every other; two keys are equal iff the doubles are
+/// bit-identical.
+inline std::uint64_t double_key(double v) {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+}  // namespace lcn::bits

@@ -19,6 +19,11 @@ struct Counters {
   std::atomic<std::uint64_t> gmres_solves{0};
   std::atomic<std::uint64_t> gmres_iterations{0};
   std::atomic<std::uint64_t> assemblies{0};
+  std::atomic<std::uint64_t> assemblies_symbolic{0};
+  std::atomic<std::uint64_t> assemblies_refill{0};
+  std::atomic<std::uint64_t> workspace_reuses{0};
+  std::atomic<std::uint64_t> flow_plan_hits{0};
+  std::atomic<std::uint64_t> flow_plan_misses{0};
   std::atomic<std::uint64_t> steady_solves{0};
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
@@ -68,6 +73,23 @@ void add_assembly(double seconds) {
   counters().assembly_micros.fetch_add(micros(seconds), kRelaxed);
 }
 
+void add_assembly_symbolic() {
+  counters().assemblies_symbolic.fetch_add(1, kRelaxed);
+}
+
+void add_assembly_refill() {
+  counters().assemblies_refill.fetch_add(1, kRelaxed);
+}
+
+void add_workspace_reuse() {
+  counters().workspace_reuses.fetch_add(1, kRelaxed);
+}
+
+void add_flow_plan_hit() { counters().flow_plan_hits.fetch_add(1, kRelaxed); }
+void add_flow_plan_miss() {
+  counters().flow_plan_misses.fetch_add(1, kRelaxed);
+}
+
 void add_steady_solve(double seconds) {
   counters().steady_solves.fetch_add(1, kRelaxed);
   counters().solve_micros.fetch_add(micros(seconds), kRelaxed);
@@ -98,6 +120,11 @@ Snapshot snapshot() {
   s.gmres_solves = c.gmres_solves.load(kRelaxed);
   s.gmres_iterations = c.gmres_iterations.load(kRelaxed);
   s.assemblies = c.assemblies.load(kRelaxed);
+  s.assemblies_symbolic = c.assemblies_symbolic.load(kRelaxed);
+  s.assemblies_refill = c.assemblies_refill.load(kRelaxed);
+  s.workspace_reuses = c.workspace_reuses.load(kRelaxed);
+  s.flow_plan_hits = c.flow_plan_hits.load(kRelaxed);
+  s.flow_plan_misses = c.flow_plan_misses.load(kRelaxed);
   s.steady_solves = c.steady_solves.load(kRelaxed);
   s.cache_hits = c.cache_hits.load(kRelaxed);
   s.cache_misses = c.cache_misses.load(kRelaxed);
@@ -120,6 +147,11 @@ Snapshot delta(const Snapshot& before, const Snapshot& after) {
   d.gmres_solves = after.gmres_solves - before.gmres_solves;
   d.gmres_iterations = after.gmres_iterations - before.gmres_iterations;
   d.assemblies = after.assemblies - before.assemblies;
+  d.assemblies_symbolic = after.assemblies_symbolic - before.assemblies_symbolic;
+  d.assemblies_refill = after.assemblies_refill - before.assemblies_refill;
+  d.workspace_reuses = after.workspace_reuses - before.workspace_reuses;
+  d.flow_plan_hits = after.flow_plan_hits - before.flow_plan_hits;
+  d.flow_plan_misses = after.flow_plan_misses - before.flow_plan_misses;
   d.steady_solves = after.steady_solves - before.steady_solves;
   d.cache_hits = after.cache_hits - before.cache_hits;
   d.cache_misses = after.cache_misses - before.cache_misses;
@@ -142,6 +174,11 @@ void reset() {
   c.gmres_solves.store(0, kRelaxed);
   c.gmres_iterations.store(0, kRelaxed);
   c.assemblies.store(0, kRelaxed);
+  c.assemblies_symbolic.store(0, kRelaxed);
+  c.assemblies_refill.store(0, kRelaxed);
+  c.workspace_reuses.store(0, kRelaxed);
+  c.flow_plan_hits.store(0, kRelaxed);
+  c.flow_plan_misses.store(0, kRelaxed);
   c.steady_solves.store(0, kRelaxed);
   c.cache_hits.store(0, kRelaxed);
   c.cache_misses.store(0, kRelaxed);
@@ -163,7 +200,10 @@ std::string Snapshot::json() const {
       "\"cg_solves\":%llu,\"cg_iterations\":%llu,"
       "\"bicgstab_solves\":%llu,\"bicgstab_iterations\":%llu,"
       "\"gmres_solves\":%llu,\"gmres_iterations\":%llu,"
-      "\"assemblies\":%llu,\"steady_solves\":%llu,"
+      "\"assemblies\":%llu,\"assemblies_symbolic\":%llu,"
+      "\"assemblies_refill\":%llu,\"workspace_reuses\":%llu,"
+      "\"flow_plan_hits\":%llu,\"flow_plan_misses\":%llu,"
+      "\"steady_solves\":%llu,"
       "\"cache_hits\":%llu,\"cache_misses\":%llu,"
       "\"cache_hit_rate\":%.4f,"
       "\"assembly_seconds\":%.6f,\"solve_seconds\":%.6f,"
@@ -178,6 +218,11 @@ std::string Snapshot::json() const {
       static_cast<unsigned long long>(gmres_solves),
       static_cast<unsigned long long>(gmres_iterations),
       static_cast<unsigned long long>(assemblies),
+      static_cast<unsigned long long>(assemblies_symbolic),
+      static_cast<unsigned long long>(assemblies_refill),
+      static_cast<unsigned long long>(workspace_reuses),
+      static_cast<unsigned long long>(flow_plan_hits),
+      static_cast<unsigned long long>(flow_plan_misses),
       static_cast<unsigned long long>(steady_solves),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses), cache_hit_rate(),

@@ -25,6 +25,11 @@ struct Snapshot {
   std::uint64_t gmres_solves = 0;
   std::uint64_t gmres_iterations = 0;
   std::uint64_t assemblies = 0;          ///< 4RM/2RM system assemblies
+  std::uint64_t assemblies_symbolic = 0; ///< one-time AssemblyPlan builds
+  std::uint64_t assemblies_refill = 0;   ///< numeric value refills of a plan
+  std::uint64_t workspace_reuses = 0;    ///< Krylov solves on a caller workspace
+  std::uint64_t flow_plan_hits = 0;      ///< flow pattern served from cache
+  std::uint64_t flow_plan_misses = 0;    ///< flow pattern analyzed fresh
   std::uint64_t steady_solves = 0;
   std::uint64_t cache_hits = 0;          ///< SA evaluator cache
   std::uint64_t cache_misses = 0;
@@ -43,6 +48,11 @@ void add_cg(std::uint64_t iterations);
 void add_bicgstab(std::uint64_t iterations);
 void add_gmres(std::uint64_t iterations);
 void add_assembly(double seconds);
+void add_assembly_symbolic();
+void add_assembly_refill();
+void add_workspace_reuse();
+void add_flow_plan_hit();
+void add_flow_plan_miss();
 void add_steady_solve(double seconds);
 void add_cache_hit();
 void add_cache_miss();

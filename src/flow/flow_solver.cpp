@@ -1,8 +1,7 @@
 #include "flow/flow_solver.hpp"
 
-#include <queue>
-
 #include "common/assert.hpp"
+#include "flow/flow_plan.hpp"
 #include "sparse/solvers.hpp"
 
 namespace lcn {
@@ -62,53 +61,16 @@ FlowSolution FlowSolver::solve(double p_sys) const {
   LCN_REQUIRE(p_sys > 0.0, "system pressure drop must be positive");
   const Grid2D& grid = net_.grid();
 
+  // Symbolic work (liquid indexing, port-reachability check, COO→CSR
+  // analysis) comes from the process-wide plan cache; degenerate networks
+  // throw from analyze() with the historical messages.
+  const std::shared_ptr<const FlowPlan> plan = flow_plan_for(net_);
+  const std::size_t n = plan->n;
+
   FlowSolution sol;
   sol.p_ref = p_sys;
-  sol.liquid_cells = net_.liquid_cells();
-  const std::size_t n = sol.liquid_cells.size();
-  if (n == 0) throw RuntimeError("flow solve: network has no liquid cells");
-  sol.liquid_index.assign(grid.cell_count(), -1);
-  for (std::size_t i = 0; i < n; ++i) {
-    sol.liquid_index[sol.liquid_cells[i]] = static_cast<std::int32_t>(i);
-  }
-
-  // Every liquid component must carry at least one port, or pressures on it
-  // are undefined and G is singular.
-  {
-    std::vector<char> reached(n, 0);
-    std::queue<std::size_t> frontier;
-    for (const Port& port : net_.ports()) {
-      const std::int32_t idx = sol.liquid_index[grid.index(port.row, port.col)];
-      LCN_CHECK(idx >= 0, "port must open into a liquid cell");
-      if (!reached[static_cast<std::size_t>(idx)]) {
-        reached[static_cast<std::size_t>(idx)] = 1;
-        frontier.push(static_cast<std::size_t>(idx));
-      }
-    }
-    std::size_t count = frontier.size();
-    while (!frontier.empty()) {
-      const std::size_t i = frontier.front();
-      frontier.pop();
-      const CellCoord cc = grid.coord(sol.liquid_cells[i]);
-      const int dr[] = {1, -1, 0, 0};
-      const int dc[] = {0, 0, 1, -1};
-      for (int k = 0; k < 4; ++k) {
-        const int nr = cc.row + dr[k];
-        const int nc = cc.col + dc[k];
-        if (!grid.in_bounds(nr, nc)) continue;
-        const std::int32_t jdx = sol.liquid_index[grid.index(nr, nc)];
-        if (jdx < 0 || reached[static_cast<std::size_t>(jdx)]) continue;
-        reached[static_cast<std::size_t>(jdx)] = 1;
-        frontier.push(static_cast<std::size_t>(jdx));
-        ++count;
-      }
-    }
-    if (count != n) {
-      throw RuntimeError(
-          "flow solve: a liquid component has no inlet/outlet (singular "
-          "pressure system)");
-    }
-  }
+  sol.liquid_cells = plan->liquid_cells;
+  sol.liquid_index = plan->liquid_index;
 
   const double g_bulk = fluid_conductance(channel_, coolant_, grid.pitch());
   const double g_edge = g_bulk * options_.edge_conductance_factor;
@@ -128,38 +90,70 @@ FlowSolution FlowSolver::solve(double p_sys) const {
     return g_bulk * (2.0 * si * sj / (si + sj));
   };
 
-  sparse::TripletList triplets(n, n);
-  sparse::Vector rhs(n, 0.0);
-
-  // Cell-to-cell conductances (east and south neighbors cover each pair once).
-  for (std::size_t i = 0; i < n; ++i) {
-    const CellCoord cc = grid.coord(sol.liquid_cells[i]);
-    const int neighbors[2][2] = {{cc.row, cc.col + 1}, {cc.row + 1, cc.col}};
-    for (const auto& nb : neighbors) {
-      if (!grid.in_bounds(nb[0], nb[1])) continue;
-      const std::int32_t jdx = sol.liquid_index[grid.index(nb[0], nb[1])];
-      if (jdx < 0) continue;
-      const auto j = static_cast<std::size_t>(jdx);
-      const double g =
-          pair_conductance(sol.liquid_cells[i], sol.liquid_cells[j]);
-      triplets.add(i, i, g);
-      triplets.add(j, j, g);
-      triplets.add(i, j, -g);
-      triplets.add(j, i, -g);
+  // Numeric refill on the cached pattern. Conductance arithmetic matches the
+  // fresh traversal exactly: one pair_conductance() per slot with a sign flip
+  // for off-diagonals (exact), so the compressed values are bit-identical. A
+  // slot refilled to exactly 0.0 (conductance underflow) would have been
+  // dropped by the fresh path's TripletList::add — that corner invalidates
+  // the cached pattern, so assemble from scratch instead.
+  std::vector<double> slot_value(plan->slots.size());
+  bool pattern_exact = true;
+  for (std::size_t s = 0; s < plan->slots.size() && pattern_exact; ++s) {
+    const FlowPlan::Slot& slot = plan->slots[s];
+    double v = 0.0;
+    switch (slot.kind) {
+      case FlowPlan::SlotKind::kPair:
+        v = pair_conductance(slot.cell_a, slot.cell_b);
+        break;
+      case FlowPlan::SlotKind::kPairNeg:
+        v = -pair_conductance(slot.cell_a, slot.cell_b);
+        break;
+      case FlowPlan::SlotKind::kPort:
+        v = g_edge * cell_scale(slot.cell_a);
+        break;
     }
+    if (v == 0.0) pattern_exact = false;
+    slot_value[s] = v;
   }
 
-  // Ports: inlet at P_sys, outlet at 0 — both appear as diagonal terms, the
-  // inlet additionally drives the right-hand side.
-  for (const Port& port : net_.ports()) {
-    const std::int32_t idx = sol.liquid_index[grid.index(port.row, port.col)];
-    const auto i = static_cast<std::size_t>(idx);
-    const double g = g_edge * cell_scale(grid.index(port.row, port.col));
-    triplets.add(i, i, g);
-    if (port.kind == PortKind::kInlet) rhs[i] += g * p_sys;
+  sparse::CsrMatrix matrix;
+  sparse::Vector rhs(n, 0.0);
+  if (pattern_exact) {
+    matrix = plan->pattern.refill_matrix(
+        [&](std::size_t s) { return slot_value[s]; });
+    for (const FlowPlan::InletOp& op : plan->inlet_ops) {
+      const double g = g_edge * cell_scale(op.cell);
+      rhs[op.node] += g * p_sys;
+    }
+  } else {
+    // Fresh traversal fallback — same emission order as the plan, with
+    // TripletList::add dropping the underflowed entries.
+    sparse::TripletList triplets(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const CellCoord cc = grid.coord(sol.liquid_cells[i]);
+      const int neighbors[2][2] = {{cc.row, cc.col + 1}, {cc.row + 1, cc.col}};
+      for (const auto& nb : neighbors) {
+        if (!grid.in_bounds(nb[0], nb[1])) continue;
+        const std::int32_t jdx = sol.liquid_index[grid.index(nb[0], nb[1])];
+        if (jdx < 0) continue;
+        const auto j = static_cast<std::size_t>(jdx);
+        const double g =
+            pair_conductance(sol.liquid_cells[i], sol.liquid_cells[j]);
+        triplets.add(i, i, g);
+        triplets.add(j, j, g);
+        triplets.add(i, j, -g);
+        triplets.add(j, i, -g);
+      }
+    }
+    for (const Port& port : net_.ports()) {
+      const std::int32_t idx = sol.liquid_index[grid.index(port.row, port.col)];
+      const auto i = static_cast<std::size_t>(idx);
+      const double g = g_edge * cell_scale(grid.index(port.row, port.col));
+      triplets.add(i, i, g);
+      if (port.kind == PortKind::kInlet) rhs[i] += g * p_sys;
+    }
+    matrix = triplets.to_csr();
   }
-
-  const sparse::CsrMatrix matrix = triplets.to_csr();
   sol.pressure.assign(n, 0.0);
   sparse::SolveOptions opts;
   opts.rel_tolerance = options_.rel_tolerance;

@@ -1,7 +1,6 @@
 #include "opt/eval_cache.hpp"
 
-#include <bit>
-
+#include "common/bits.hpp"
 #include "common/instrument.hpp"
 
 namespace lcn {
@@ -16,7 +15,9 @@ class Fnv {
       h_ *= 0x100000001b3ULL;
     }
   }
-  void mix_double(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  // Exact-match semantics via the shared bit-pattern key (common/bits.hpp):
+  // the fingerprint distinguishes every distinct double, including ±0.0.
+  void mix_double(double v) { mix(bits::double_key(v)); }
   std::uint64_t value() const { return h_; }
 
  private:

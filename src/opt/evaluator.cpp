@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "common/bits.hpp"
 
 namespace lcn {
 
@@ -33,17 +34,18 @@ SystemEvaluator::SystemEvaluator(const CoolingProblem& problem,
     : sim_(make_sim(problem, network, config)) {}
 
 ThermalProbe SystemEvaluator::probe(double p_sys) {
-  const auto it = cache_.find(p_sys);
+  const std::uint64_t key = bits::double_key(p_sys);
+  const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
   // Warm-start from the previous probe's field: successive pressures in the
   // searches are close, so the old temperatures are near the new solution.
   const AssembledThermal system = std::visit(
       [p_sys](const auto& sim) { return sim.assemble(p_sys); }, sim_);
-  ThermalField field = solve_steady(system, 1e-9, &last_temps_);
+  ThermalField field = solve_steady(system, 1e-9, &last_temps_, &workspace_);
   ++simulations_;
   const ThermalProbe result{field.delta_t, field.t_max};
   last_temps_ = std::move(field.temperatures);
-  cache_.emplace(p_sys, result);
+  cache_.emplace(key, result);
   return result;
 }
 

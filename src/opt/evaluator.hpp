@@ -9,8 +9,9 @@
 // a pumping budget (Problem 2).
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <variant>
 
 #include "network/cooling_network.hpp"
@@ -58,8 +59,18 @@ class SystemEvaluator {
 
  private:
   std::variant<Thermal2RM, Thermal4RM> sim_;
-  std::map<double, ThermalProbe> cache_;
+  /// Probe memoization keyed on the bit pattern of P_sys (bits::double_key):
+  /// exact-match semantics — two pressures hit the same entry iff they are
+  /// the same double (+0.0 and -0.0 differ, NaN never matches itself via
+  /// arithmetic but distinct NaN payloads get distinct entries). The searches
+  /// re-probe exact values (bracket endpoints, final operating points), which
+  /// is precisely what bit-pattern equality captures; near-misses are cheap
+  /// again now that they only refill values on the cached assembly plan.
+  std::unordered_map<std::uint64_t, ThermalProbe> cache_;
   std::vector<double> last_temps_;  ///< warm start for the next probe
+  /// Preconditioner + Krylov scratch carried across probes (all probe
+  /// matrices share the assembly plan's sparsity pattern).
+  SteadyWorkspace workspace_;
   std::size_t simulations_ = 0;
 };
 

@@ -10,19 +10,36 @@
 
 namespace lcn::sparse {
 
+const SharedIndexes& CsrMatrix::empty_indexes() {
+  static const SharedIndexes empty =
+      std::make_shared<const std::vector<std::size_t>>();
+  return empty;
+}
+
 CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols,
                      std::vector<std::size_t> row_ptr,
                      std::vector<std::size_t> col_idx,
                      std::vector<double> values)
+    : CsrMatrix(rows, cols,
+                std::make_shared<const std::vector<std::size_t>>(
+                    std::move(row_ptr)),
+                std::make_shared<const std::vector<std::size_t>>(
+                    std::move(col_idx)),
+                std::move(values)) {}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, SharedIndexes row_ptr,
+                     SharedIndexes col_idx, std::vector<double> values)
     : rows_(rows),
       cols_(cols),
       row_ptr_(std::move(row_ptr)),
       col_idx_(std::move(col_idx)),
       values_(std::move(values)) {
-  LCN_REQUIRE(row_ptr_.size() == rows_ + 1, "row_ptr size must be rows+1");
-  LCN_REQUIRE(col_idx_.size() == values_.size(),
+  LCN_REQUIRE(row_ptr_ != nullptr && col_idx_ != nullptr,
+              "CSR structure must be non-null");
+  LCN_REQUIRE(row_ptr_->size() == rows_ + 1, "row_ptr size must be rows+1");
+  LCN_REQUIRE(col_idx_->size() == values_.size(),
               "col_idx and values must have equal length");
-  LCN_REQUIRE(row_ptr_.back() == values_.size(),
+  LCN_REQUIRE(row_ptr_->back() == values_.size(),
               "row_ptr must terminate at nnz");
 }
 
@@ -31,8 +48,8 @@ void CsrMatrix::multiply_serial(const Vector& x, Vector& y) const {
   y.resize(rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     double sum = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      sum += values_[k] * x[col_idx_[k]];
+    for (std::size_t k = (*row_ptr_)[r]; k < (*row_ptr_)[r + 1]; ++k) {
+      sum += values_[k] * x[(*col_idx_)[k]];
     }
     y[r] = sum;
   }
@@ -57,15 +74,15 @@ void CsrMatrix::multiply(const Vector& x, Vector& y) const {
   for (std::size_t p = 1; p < parts; ++p) {
     const std::size_t target = total * p / parts;
     bounds[p] = static_cast<std::size_t>(
-        std::lower_bound(row_ptr_.begin(), row_ptr_.end(), target) -
-        row_ptr_.begin());
+        std::lower_bound(row_ptr_->begin(), row_ptr_->end(), target) -
+        row_ptr_->begin());
   }
   global_pool().parallel_for(parts, [&](std::size_t p) {
     const std::size_t r1 = std::min(bounds[p + 1], rows_);
     for (std::size_t r = bounds[p]; r < r1; ++r) {
       double sum = 0.0;
-      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-        sum += values_[k] * x[col_idx_[k]];
+      for (std::size_t k = (*row_ptr_)[r]; k < (*row_ptr_)[r + 1]; ++k) {
+        sum += values_[k] * x[(*col_idx_)[k]];
       }
       y[r] = sum;
     }
@@ -80,11 +97,11 @@ Vector CsrMatrix::multiply(const Vector& x) const {
 
 double CsrMatrix::at(std::size_t row, std::size_t col) const {
   LCN_REQUIRE(row < rows_ && col < cols_, "at: index out of range");
-  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row]);
-  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  const auto begin = col_idx_->begin() + static_cast<std::ptrdiff_t>((*row_ptr_)[row]);
+  const auto end = col_idx_->begin() + static_cast<std::ptrdiff_t>((*row_ptr_)[row + 1]);
   const auto it = std::lower_bound(begin, end, col);
   if (it == end || *it != col) return 0.0;
-  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+  return values_[static_cast<std::size_t>(it - col_idx_->begin())];
 }
 
 Vector CsrMatrix::diagonal() const {
@@ -98,8 +115,8 @@ double CsrMatrix::symmetry_gap() const {
   LCN_REQUIRE(rows_ == cols_, "symmetry_gap requires a square matrix");
   double gap = 0.0;
   for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      gap = std::max(gap, std::abs(values_[k] - at(col_idx_[k], r)));
+    for (std::size_t k = (*row_ptr_)[r]; k < (*row_ptr_)[r + 1]; ++k) {
+      gap = std::max(gap, std::abs(values_[k] - at((*col_idx_)[k], r)));
     }
   }
   return gap;
@@ -108,8 +125,8 @@ double CsrMatrix::symmetry_gap() const {
 std::vector<double> CsrMatrix::to_dense() const {
   std::vector<double> dense(rows_ * cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      dense[r * cols_ + col_idx_[k]] += values_[k];
+    for (std::size_t k = (*row_ptr_)[r]; k < (*row_ptr_)[r + 1]; ++k) {
+      dense[r * cols_ + (*col_idx_)[k]] += values_[k];
     }
   }
   return dense;
@@ -125,10 +142,7 @@ namespace {
 /// Sort, merge duplicates (summing in sorted order), and build CSR.
 CsrMatrix compress_triplets(std::size_t rows, std::size_t cols,
                             std::vector<Triplet>&& sorted) {
-  std::sort(sorted.begin(), sorted.end(),
-            [](const Triplet& a, const Triplet& b) {
-              return a.row != b.row ? a.row < b.row : a.col < b.col;
-            });
+  std::sort(sorted.begin(), sorted.end(), &triplet_pattern_order);
 
   std::vector<std::size_t> row_ptr(rows + 1, 0);
   std::vector<std::size_t> col_idx;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "sparse/vector_ops.hpp"
@@ -19,21 +20,48 @@ struct Triplet {
   double value;
 };
 
+/// The one ordering used everywhere COO triplets are compressed to CSR:
+/// row-major, then by column. compress_triplets() and SparsityPlan::analyze()
+/// must sort with this exact comparator (same function, same std::sort
+/// instantiation) so the duplicate-summation order a plan captures is the
+/// order a fresh compression would use — the root of the refill ≡ fresh
+/// bit-identity guarantee.
+inline bool triplet_pattern_order(const Triplet& a, const Triplet& b) {
+  return a.row != b.row ? a.row < b.row : a.col < b.col;
+}
+
+/// Immutable symbolic CSR structure (row pointers + column indices), shared
+/// between every matrix assembled from the same sparsity pattern. A
+/// SparsityPlan analyzes a triplet sequence once and hands the structure to
+/// each numeric refill, so repeated assemblies of the same system only ever
+/// allocate a value array.
+using SharedIndexes = std::shared_ptr<const std::vector<std::size_t>>;
+
 class CsrMatrix {
  public:
   CsrMatrix() = default;
   CsrMatrix(std::size_t rows, std::size_t cols,
             std::vector<std::size_t> row_ptr, std::vector<std::size_t> col_idx,
             std::vector<double> values);
+  /// Borrow an existing symbolic structure (no index copies) — the
+  /// symbolic/numeric split's fast path.
+  CsrMatrix(std::size_t rows, std::size_t cols, SharedIndexes row_ptr,
+            SharedIndexes col_idx, std::vector<double> values);
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t nnz() const { return values_.size(); }
 
-  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
-  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<std::size_t>& row_ptr() const { return *row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return *col_idx_; }
   const std::vector<double>& values() const { return values_; }
   std::vector<double>& values() { return values_; }
+
+  /// Handles to the shared symbolic structure. Two matrices with the same
+  /// handle provably share a sparsity pattern (pointer identity), which lets
+  /// preconditioners skip their symbolic phase on refactorization.
+  const SharedIndexes& shared_row_ptr() const { return row_ptr_; }
+  const SharedIndexes& shared_col_idx() const { return col_idx_; }
 
   /// y = A x. Rows are partitioned across the global thread pool (balanced
   /// by nonzero count) when the matrix is large enough; each y[r] is
@@ -60,10 +88,13 @@ class CsrMatrix {
   std::vector<double> to_dense() const;
 
  private:
+  /// Shared empty structure backing default-constructed matrices.
+  static const SharedIndexes& empty_indexes();
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<std::size_t> row_ptr_;
-  std::vector<std::size_t> col_idx_;
+  SharedIndexes row_ptr_ = empty_indexes();
+  SharedIndexes col_idx_ = empty_indexes();
   std::vector<double> values_;
 };
 

@@ -12,10 +12,14 @@ struct IterationRecorder {
   const SolveReport& report;
   ~IterationRecorder() { instrument::add_gmres(report.iterations); }
 };
-}  // namespace
 
-SolveReport gmres_solve(const CsrMatrix& a, const Vector& b, Vector& x,
-                        const Preconditioner& m, const GmresOptions& options) {
+// The one GMRES implementation; all scratch lives in the workspace. Every
+// vector is re-initialised to exactly the state the historical allocating
+// version constructed (including the zero fills), so iterates are
+// bit-identical whether the workspace is fresh or reused.
+SolveReport gmres_impl(const CsrMatrix& a, const Vector& b, Vector& x,
+                       const Preconditioner& m, const GmresOptions& options,
+                       SolverWorkspace& ws) {
   const std::size_t n = a.rows();
   LCN_REQUIRE(a.cols() == n, "GMRES needs a square matrix");
   LCN_REQUIRE(b.size() == n, "GMRES rhs size mismatch");
@@ -36,19 +40,27 @@ SolveReport gmres_solve(const CsrMatrix& a, const Vector& b, Vector& x,
       options.max_outer != 0 ? options.max_outer : (10 * n) / restart + 4;
 
   // Arnoldi basis (restart+1 vectors) and Hessenberg in Givens-reduced form.
-  std::vector<Vector> basis(restart + 1, Vector(n));
-  std::vector<Vector> h(restart + 1, Vector(restart, 0.0));
-  Vector cs(restart, 0.0);
-  Vector sn(restart, 0.0);
-  Vector g(restart + 1, 0.0);
-  Vector z(n);
-  Vector w(n);
+  ws.basis.resize(restart + 1);
+  for (Vector& v : ws.basis) v.assign(n, 0.0);
+  ws.h.resize(restart + 1);
+  for (Vector& row : ws.h) row.assign(restart, 0.0);
+  std::vector<Vector>& basis = ws.basis;
+  std::vector<Vector>& h = ws.h;
+  ws.cs.assign(restart, 0.0);
+  ws.sn.assign(restart, 0.0);
+  ws.g.assign(restart + 1, 0.0);
+  Vector& cs = ws.cs;
+  Vector& sn = ws.sn;
+  Vector& g = ws.g;
+  Vector& z = ws.z;
+  Vector& w = ws.w;
 
   std::size_t total_iters = 0;
   for (std::size_t outer = 0; outer < max_outer; ++outer) {
     // r = b - A x
     a.multiply(x, w);
-    Vector r = b;
+    Vector& r = ws.r;
+    r = b;
     axpy(-1.0, w, r);
     const double beta = norm2(r);
     report.relative_residual = beta / bnorm;
@@ -106,25 +118,42 @@ SolveReport gmres_solve(const CsrMatrix& a, const Vector& b, Vector& x,
     }
 
     // Back-substitute y from the k x k triangular system, x += M^{-1} V y.
-    Vector y(k, 0.0);
+    ws.y.assign(k, 0.0);
+    Vector& y = ws.y;
     for (std::size_t ii = k; ii-- > 0;) {
       double sum = g[ii];
       for (std::size_t j = ii + 1; j < k; ++j) sum -= h[ii][j] * y[j];
       y[ii] = sum / h[ii][ii];
     }
-    Vector update(n, 0.0);
+    ws.update.assign(n, 0.0);
+    Vector& update = ws.update;
     for (std::size_t j = 0; j < k; ++j) axpy(y[j], basis[j], update);
     m.apply(update, z);
     axpy(1.0, z, x);
   }
 
   a.multiply(x, w);
-  Vector r = b;
+  Vector& r = ws.r;
+  r = b;
   axpy(-1.0, w, r);
   report.relative_residual = norm2(r) / bnorm;
   report.converged = report.relative_residual < options.rel_tolerance;
   report.iterations = total_iters;
   return report;
+}
+}  // namespace
+
+SolveReport gmres_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                        const Preconditioner& m, const GmresOptions& options) {
+  SolverWorkspace ws;
+  return gmres_impl(a, b, x, m, options, ws);
+}
+
+SolveReport gmres_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                        const Preconditioner& m, SolverWorkspace& ws,
+                        const GmresOptions& options) {
+  instrument::add_workspace_reuse();
+  return gmres_impl(a, b, x, m, options, ws);
 }
 
 }  // namespace lcn::sparse

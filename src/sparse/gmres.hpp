@@ -23,4 +23,11 @@ SolveReport gmres_solve(const CsrMatrix& a, const Vector& b, Vector& x,
                         const Preconditioner& m,
                         const GmresOptions& options = {});
 
+/// Workspace variant: reuses caller-held Arnoldi scratch across solves.
+/// Bit-identical to the allocating variant (every vector it reads is
+/// re-initialised to the state the allocating variant constructs).
+SolveReport gmres_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                        const Preconditioner& m, SolverWorkspace& ws,
+                        const GmresOptions& options = {});
+
 }  // namespace lcn::sparse

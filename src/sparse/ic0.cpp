@@ -6,10 +6,23 @@
 
 namespace lcn::sparse {
 
-Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a) : n_(a.rows()) {
-  LCN_REQUIRE(a.rows() == a.cols(), "IC(0) needs a square matrix");
+Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a) { refactor(a); }
 
-  // Extract the lower triangle (including diagonal) of A.
+void Ic0Preconditioner::refactor(const CsrMatrix& a) {
+  if (a.shared_row_ptr() != a_row_ptr_ || a.shared_col_idx() != a_col_idx_) {
+    analyze(a);
+  }
+  factorize(a.values());
+}
+
+void Ic0Preconditioner::analyze(const CsrMatrix& a) {
+  LCN_REQUIRE(a.rows() == a.cols(), "IC(0) needs a square matrix");
+  n_ = a.rows();
+  a_row_ptr_ = a.shared_row_ptr();
+  a_col_idx_ = a.shared_col_idx();
+
+  // Extract the lower-triangular pattern (including diagonal) of A and the
+  // gather map from A's value array.
   row_ptr_.assign(n_ + 1, 0);
   for (std::size_t r = 0; r < n_; ++r) {
     for (std::size_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
@@ -18,6 +31,7 @@ Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a) : n_(a.rows()) {
   }
   for (std::size_t r = 0; r < n_; ++r) row_ptr_[r + 1] += row_ptr_[r];
   col_idx_.resize(row_ptr_[n_]);
+  lower_src_.resize(row_ptr_[n_]);
   values_.resize(row_ptr_[n_]);
   {
     std::vector<std::size_t> cursor(row_ptr_.begin(), row_ptr_.end() - 1);
@@ -26,22 +40,55 @@ Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a) : n_(a.rows()) {
         const std::size_t c = a.col_idx()[k];
         if (c > r) continue;
         col_idx_[cursor[r]] = c;
-        values_[cursor[r]] = a.values()[k];
+        lower_src_[cursor[r]] = k;
         ++cursor[r];
       }
     }
   }
+  for (std::size_t i = 0; i < n_; ++i) {
+    LCN_REQUIRE(row_ptr_[i + 1] > row_ptr_[i] &&
+                    col_idx_[row_ptr_[i + 1] - 1] == i,
+                "IC(0): missing diagonal entry");
+  }
+
+  // Transposed (CSC-like) pattern for the backward solve, plus the gather
+  // map from the row-major factor.
+  col_ptr_.assign(n_ + 1, 0);
+  for (std::size_t k = 0; k < col_idx_.size(); ++k) ++col_ptr_[col_idx_[k] + 1];
+  for (std::size_t c = 0; c < n_; ++c) col_ptr_[c + 1] += col_ptr_[c];
+  row_idx_.resize(col_idx_.size());
+  t_src_.resize(col_idx_.size());
+  t_values_.resize(col_idx_.size());
+  std::vector<std::size_t> cursor(col_ptr_.begin(), col_ptr_.end() - 1);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::size_t c = col_idx_[k];
+      row_idx_[cursor[c]] = r;
+      t_src_[cursor[c]] = k;
+      ++cursor[c];
+    }
+  }
+
+  pos_.assign(n_, -1);
+}
+
+void Ic0Preconditioner::factorize(const std::vector<double>& a_values) {
+  LCN_REQUIRE(a_values.size() == a_col_idx_->size(),
+              "IC(0): value array mismatch");
+  // Gather the lower triangle of A (bit-identical to the extraction loop a
+  // fresh construction runs — a pure per-slot copy either way).
+  for (std::size_t s = 0; s < lower_src_.size(); ++s) {
+    values_[s] = a_values[lower_src_[s]];
+  }
 
   // IC(0) factorization in place on the lower pattern. Row entries are
   // sorted (CSR from TripletList is sorted), diagonal last in each row.
-  std::vector<std::ptrdiff_t> pos(n_, -1);  // col -> index in current row
+  // pos_ maps col -> index in the current row; kept all -1 between calls.
   for (std::size_t i = 0; i < n_; ++i) {
     const std::size_t row_begin = row_ptr_[i];
     const std::size_t row_end = row_ptr_[i + 1];
-    LCN_REQUIRE(row_end > row_begin && col_idx_[row_end - 1] == i,
-                "IC(0): missing diagonal entry");
     for (std::size_t k = row_begin; k < row_end; ++k) {
-      pos[col_idx_[k]] = static_cast<std::ptrdiff_t>(k);
+      pos_[col_idx_[k]] = static_cast<std::ptrdiff_t>(k);
     }
     // For each entry L(i,j), j < i:
     for (std::size_t k = row_begin; k + 1 < row_end; ++k) {
@@ -49,7 +96,7 @@ Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a) : n_(a.rows()) {
       // L(i,j) = (A(i,j) - sum_{m<j} L(i,m)·L(j,m)) / L(j,j)
       double sum = values_[k];
       for (std::size_t kj = row_ptr_[j]; kj + 1 < row_ptr_[j + 1]; ++kj) {
-        const std::ptrdiff_t p = pos[col_idx_[kj]];
+        const std::ptrdiff_t p = pos_[col_idx_[kj]];
         if (p >= 0 && static_cast<std::size_t>(p) < k) {
           sum -= values_[static_cast<std::size_t>(p)] * values_[kj];
         }
@@ -63,27 +110,18 @@ Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a) : n_(a.rows()) {
       diag -= values_[k] * values_[k];
     }
     if (diag <= 0.0) {
+      // Keep pos_ all -1 so a later same-structure refactor stays clean.
+      for (std::size_t k = row_begin; k < row_end; ++k) pos_[col_idx_[k]] = -1;
       throw RuntimeError("IC(0): non-positive pivot at row " +
                          std::to_string(i));
     }
     values_[row_end - 1] = std::sqrt(diag);
-    for (std::size_t k = row_begin; k < row_end; ++k) pos[col_idx_[k]] = -1;
+    for (std::size_t k = row_begin; k < row_end; ++k) pos_[col_idx_[k]] = -1;
   }
 
-  // Build the transposed (CSC-like) view for the backward solve.
-  col_ptr_.assign(n_ + 1, 0);
-  for (std::size_t k = 0; k < col_idx_.size(); ++k) ++col_ptr_[col_idx_[k] + 1];
-  for (std::size_t c = 0; c < n_; ++c) col_ptr_[c + 1] += col_ptr_[c];
-  row_idx_.resize(col_idx_.size());
-  t_values_.resize(col_idx_.size());
-  std::vector<std::size_t> cursor(col_ptr_.begin(), col_ptr_.end() - 1);
-  for (std::size_t r = 0; r < n_; ++r) {
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const std::size_t c = col_idx_[k];
-      row_idx_[cursor[c]] = r;
-      t_values_[cursor[c]] = values_[k];
-      ++cursor[c];
-    }
+  // Refresh the transposed view (pure gather from the factored values).
+  for (std::size_t t = 0; t < t_src_.size(); ++t) {
+    t_values_[t] = values_[t_src_[t]];
   }
 }
 

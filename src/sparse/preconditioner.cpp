@@ -19,19 +19,31 @@ void JacobiPreconditioner::apply(const Vector& r, Vector& z) const {
   for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];
 }
 
-Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a)
-    : n_(a.rows()),
-      row_ptr_(a.row_ptr()),
-      col_idx_(a.col_idx()),
-      values_(a.values()),
-      diag_(a.rows(), 0) {
+Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a) { refactor(a); }
+
+void Ilu0Preconditioner::refactor(const CsrMatrix& a) {
+  if (a.shared_row_ptr() != row_ptr_ || a.shared_col_idx() != col_idx_) {
+    analyze(a);
+  }
+  values_ = a.values();
+  factorize();
+}
+
+void Ilu0Preconditioner::analyze(const CsrMatrix& a) {
   LCN_REQUIRE(a.rows() == a.cols(), "ILU(0) needs a square matrix");
+  n_ = a.rows();
+  row_ptr_ = a.shared_row_ptr();
+  col_idx_ = a.shared_col_idx();
+  diag_.assign(n_, 0);
+  pos_.assign(n_, -1);
 
   // Locate diagonal entries (every row must have one for ILU0).
+  const std::vector<std::size_t>& row_ptr = *row_ptr_;
+  const std::vector<std::size_t>& col_idx = *col_idx_;
   for (std::size_t r = 0; r < n_; ++r) {
     bool found = false;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      if (col_idx_[k] == r) {
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] == r) {
         diag_[r] = k;
         found = true;
         break;
@@ -42,31 +54,39 @@ Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a)
                          std::to_string(r));
     }
   }
+}
 
+void Ilu0Preconditioner::factorize() {
   // IKJ-variant incomplete factorization restricted to the pattern of A.
-  // column position lookup scratch: map col -> value index for current row.
-  std::vector<std::ptrdiff_t> pos(n_, -1);
+  // pos_ maps col -> value index for the current row; it is kept all -1
+  // between calls (every row restores the entries it set).
+  const std::vector<std::size_t>& row_ptr = *row_ptr_;
+  const std::vector<std::size_t>& col_idx = *col_idx_;
   for (std::size_t i = 0; i < n_; ++i) {
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      pos[col_idx_[k]] = static_cast<std::ptrdiff_t>(k);
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      pos_[col_idx[k]] = static_cast<std::ptrdiff_t>(k);
     }
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      const std::size_t j = col_idx_[k];
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const std::size_t j = col_idx[k];
       if (j >= i) break;  // only strictly-lower entries eliminate
       const double piv = values_[diag_[j]];
       if (std::abs(piv) < 1e-300) {
+        // Keep pos_ all -1 so a later same-structure refactor stays clean.
+        for (std::size_t kk = row_ptr[i]; kk < row_ptr[i + 1]; ++kk) {
+          pos_[col_idx[kk]] = -1;
+        }
         throw RuntimeError("ILU(0): zero pivot at row " + std::to_string(j));
       }
       const double lij = values_[k] / piv;
       values_[k] = lij;
       // subtract lij * U(j, *) on the existing pattern of row i
-      for (std::size_t kk = diag_[j] + 1; kk < row_ptr_[j + 1]; ++kk) {
-        const std::ptrdiff_t p = pos[col_idx_[kk]];
+      for (std::size_t kk = diag_[j] + 1; kk < row_ptr[j + 1]; ++kk) {
+        const std::ptrdiff_t p = pos_[col_idx[kk]];
         if (p >= 0) values_[static_cast<std::size_t>(p)] -= lij * values_[kk];
       }
     }
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      pos[col_idx_[k]] = -1;
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      pos_[col_idx[k]] = -1;
     }
     if (std::abs(values_[diag_[i]]) < 1e-300) {
       throw RuntimeError("ILU(0): factorization produced zero pivot at row " +
@@ -77,12 +97,14 @@ Ilu0Preconditioner::Ilu0Preconditioner(const CsrMatrix& a)
 
 void Ilu0Preconditioner::apply(const Vector& r, Vector& z) const {
   LCN_REQUIRE(r.size() == n_, "ILU(0) apply: size mismatch");
+  const std::vector<std::size_t>& row_ptr = *row_ptr_;
+  const std::vector<std::size_t>& col_idx = *col_idx_;
   z = r;
   // Forward solve L z = r (unit diagonal).
   for (std::size_t i = 0; i < n_; ++i) {
     double sum = z[i];
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      const std::size_t j = col_idx_[k];
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const std::size_t j = col_idx[k];
       if (j >= i) break;
       sum -= values_[k] * z[j];
     }
@@ -91,8 +113,8 @@ void Ilu0Preconditioner::apply(const Vector& r, Vector& z) const {
   // Backward solve U z = z.
   for (std::size_t ii = n_; ii-- > 0;) {
     double sum = z[ii];
-    for (std::size_t k = diag_[ii] + 1; k < row_ptr_[ii + 1]; ++k) {
-      sum -= values_[k] * z[col_idx_[k]];
+    for (std::size_t k = diag_[ii] + 1; k < row_ptr[ii + 1]; ++k) {
+      sum -= values_[k] * z[col_idx[k]];
     }
     z[ii] = sum / values_[diag_[ii]];
   }

@@ -19,16 +19,27 @@ std::size_t retry_max_iters(std::size_t n, const SolveOptions& opts) {
   return 4 * effective_max_iters(opts, n);
 }
 
+GmresOptions gmres_options(const SolveOptions& opts) {
+  GmresOptions gmres;
+  gmres.rel_tolerance = opts.rel_tolerance;
+  gmres.restart = opts.gmres_restart;
+  gmres.max_outer = opts.gmres_max_outer;
+  return gmres;
+}
+
 // Records the final iteration count on every exit path of a solver.
 struct IterationRecorder {
   const SolveReport& report;
   void (*record)(std::uint64_t);
   ~IterationRecorder() { record(report.iterations); }
 };
-}  // namespace
 
-SolveReport cg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
-                     const Preconditioner& m, const SolveOptions& opts) {
+// The one CG implementation; scratch lives in the workspace and every vector
+// read is re-initialised first, so a fresh and a reused workspace produce
+// bit-identical iterates.
+SolveReport cg_impl(const CsrMatrix& a, const Vector& b, Vector& x,
+                    const Preconditioner& m, const SolveOptions& opts,
+                    SolverWorkspace& ws) {
   const std::size_t n = a.rows();
   LCN_REQUIRE(a.cols() == n, "CG needs a square matrix");
   LCN_REQUIRE(b.size() == n, "CG rhs size mismatch");
@@ -43,13 +54,15 @@ SolveReport cg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
     return report;
   }
 
-  Vector r = b;
-  Vector ax = a.multiply(x);
-  axpy(-1.0, ax, r);
-  Vector z(n);
+  Vector& r = ws.r;
+  r = b;
+  a.multiply(x, ws.ax);
+  axpy(-1.0, ws.ax, r);
+  Vector& z = ws.z;
   m.apply(r, z);
-  Vector p = z;
-  Vector ap(n);
+  Vector& p = ws.p;
+  p = z;
+  Vector& ap = ws.ap;
   double rz = dot(r, z);
 
   const std::size_t max_iters = effective_max_iters(opts, n);
@@ -86,8 +99,9 @@ SolveReport cg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
   return report;
 }
 
-SolveReport bicgstab_solve(const CsrMatrix& a, const Vector& b, Vector& x,
-                           const Preconditioner& m, const SolveOptions& opts) {
+SolveReport bicgstab_impl(const CsrMatrix& a, const Vector& b, Vector& x,
+                          const Preconditioner& m, const SolveOptions& opts,
+                          SolverWorkspace& ws) {
   const std::size_t n = a.rows();
   LCN_REQUIRE(a.cols() == n, "BiCGSTAB needs a square matrix");
   LCN_REQUIRE(b.size() == n, "BiCGSTAB rhs size mismatch");
@@ -102,16 +116,20 @@ SolveReport bicgstab_solve(const CsrMatrix& a, const Vector& b, Vector& x,
     return report;
   }
 
-  Vector r = b;
-  Vector ax = a.multiply(x);
-  axpy(-1.0, ax, r);
-  Vector r0 = r;
-  Vector p(n, 0.0);
-  Vector v(n, 0.0);
-  Vector phat(n);
-  Vector shat(n);
-  Vector s(n);
-  Vector t(n);
+  Vector& r = ws.r;
+  r = b;
+  a.multiply(x, ws.ax);
+  axpy(-1.0, ws.ax, r);
+  Vector& r0 = ws.r0;
+  r0 = r;
+  ws.p.assign(n, 0.0);
+  ws.v.assign(n, 0.0);
+  Vector& p = ws.p;
+  Vector& v = ws.v;
+  Vector& phat = ws.phat;
+  Vector& shat = ws.shat;
+  Vector& s = ws.s;
+  Vector& t = ws.t;
 
   double rho = 1.0;
   double alpha = 1.0;
@@ -169,13 +187,92 @@ SolveReport bicgstab_solve(const CsrMatrix& a, const Vector& b, Vector& x,
     if (std::abs(omega) < 1e-300) break;
   }
 
-  Vector final_ax = a.multiply(x);
-  Vector final_r = b;
-  axpy(-1.0, final_ax, final_r);
+  a.multiply(x, ws.ax);
+  Vector& final_r = ws.t;
+  final_r = b;
+  axpy(-1.0, ws.ax, final_r);
   report.iterations = max_iters;
   report.relative_residual = norm2(final_r) / bnorm;
   report.converged = report.relative_residual < opts.rel_tolerance;
   return report;
+}
+
+// Shared BiCGSTAB→retry→GMRES cascade used by both solve_general_or_throw
+// variants; the workspace and preconditioner are caller-owned.
+void general_cascade(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const std::string& context, const Ilu0Preconditioner& ilu,
+                     SolverWorkspace& ws, const SolveOptions& opts) {
+  if (opts.method == GeneralMethod::kGmres) {
+    // Opt-in direct GMRES path for hard-to-converge nonsymmetric systems.
+    const SolveReport report =
+        gmres_solve(a, b, x, ilu, ws, gmres_options(opts));
+    if (!report.converged) {
+      throw RuntimeError(context + ": GMRES failed to converge (rel residual " +
+                         std::to_string(report.relative_residual) + " after " +
+                         std::to_string(report.iterations) + " iterations)");
+    }
+    LCN_DEBUG() << context << ": GMRES converged in " << report.iterations
+                << " iters, rel residual " << report.relative_residual;
+    return;
+  }
+
+  SolveReport report = bicgstab_impl(a, b, x, ilu, opts, ws);
+  if (!report.converged) {
+    // One retry from scratch with a fresh zero guess and more iterations —
+    // BiCGSTAB can stagnate from an unlucky shadow residual.
+    x.assign(a.rows(), 0.0);
+    SolveOptions retry = opts;
+    retry.max_iterations = retry_max_iters(a.rows(), opts);
+    report = bicgstab_impl(a, b, x, ilu, retry, ws);
+  }
+  if (!report.converged && opts.method == GeneralMethod::kAuto) {
+    // Robust fallback for strongly advective systems: restarted GMRES with
+    // the same ILU(0) preconditioner.
+    x.assign(a.rows(), 0.0);
+    const SolveReport gmres_report =
+        gmres_solve(a, b, x, ilu, ws, gmres_options(opts));
+    if (gmres_report.converged) {
+      LCN_DEBUG() << context << ": GMRES fallback converged in "
+                  << gmres_report.iterations << " iters";
+      return;
+    }
+    report = gmres_report;
+  }
+  if (!report.converged) {
+    throw RuntimeError(context +
+                       ": BiCGSTAB and GMRES failed to converge (rel residual " +
+                       std::to_string(report.relative_residual) + " after " +
+                       std::to_string(report.iterations) + " iterations)");
+  }
+  LCN_DEBUG() << context << ": BiCGSTAB converged in " << report.iterations
+              << " iters, rel residual " << report.relative_residual;
+}
+}  // namespace
+
+SolveReport cg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& m, const SolveOptions& opts) {
+  SolverWorkspace ws;
+  return cg_impl(a, b, x, m, opts, ws);
+}
+
+SolveReport cg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& m, SolverWorkspace& ws,
+                     const SolveOptions& opts) {
+  instrument::add_workspace_reuse();
+  return cg_impl(a, b, x, m, opts, ws);
+}
+
+SolveReport bicgstab_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                           const Preconditioner& m, const SolveOptions& opts) {
+  SolverWorkspace ws;
+  return bicgstab_impl(a, b, x, m, opts, ws);
+}
+
+SolveReport bicgstab_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                           const Preconditioner& m, SolverWorkspace& ws,
+                           const SolveOptions& opts) {
+  instrument::add_workspace_reuse();
+  return bicgstab_impl(a, b, x, m, opts, ws);
 }
 
 void solve_spd_or_throw(const CsrMatrix& a, const Vector& b, Vector& x,
@@ -206,37 +303,16 @@ void solve_general_or_throw(const CsrMatrix& a, const Vector& b, Vector& x,
                             const std::string& context,
                             const SolveOptions& opts) {
   const Ilu0Preconditioner ilu(a);
-  SolveReport report = bicgstab_solve(a, b, x, ilu, opts);
-  if (!report.converged) {
-    // One retry from scratch with a fresh zero guess and more iterations —
-    // BiCGSTAB can stagnate from an unlucky shadow residual.
-    x.assign(a.rows(), 0.0);
-    SolveOptions retry = opts;
-    retry.max_iterations = retry_max_iters(a.rows(), opts);
-    report = bicgstab_solve(a, b, x, ilu, retry);
-  }
-  if (!report.converged) {
-    // Robust fallback for strongly advective systems: restarted GMRES with
-    // the same ILU(0) preconditioner.
-    x.assign(a.rows(), 0.0);
-    GmresOptions gmres;
-    gmres.rel_tolerance = opts.rel_tolerance;
-    const SolveReport gmres_report = gmres_solve(a, b, x, ilu, gmres);
-    if (gmres_report.converged) {
-      LCN_DEBUG() << context << ": GMRES fallback converged in "
-                  << gmres_report.iterations << " iters";
-      return;
-    }
-    report = gmres_report;
-  }
-  if (!report.converged) {
-    throw RuntimeError(context +
-                       ": BiCGSTAB and GMRES failed to converge (rel residual " +
-                       std::to_string(report.relative_residual) + " after " +
-                       std::to_string(report.iterations) + " iterations)");
-  }
-  LCN_DEBUG() << context << ": BiCGSTAB converged in " << report.iterations
-              << " iters, rel residual " << report.relative_residual;
+  SolverWorkspace ws;
+  general_cascade(a, b, x, context, ilu, ws, opts);
+}
+
+void solve_general_or_throw(const CsrMatrix& a, const Vector& b, Vector& x,
+                            const std::string& context,
+                            const Ilu0Preconditioner& ilu, SolverWorkspace& ws,
+                            const SolveOptions& opts) {
+  instrument::add_workspace_reuse();
+  general_cascade(a, b, x, context, ilu, ws, opts);
 }
 
 }  // namespace lcn::sparse

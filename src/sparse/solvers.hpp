@@ -1,5 +1,13 @@
 // Iterative Krylov solvers: preconditioned CG for the SPD flow system and
-// preconditioned BiCGSTAB for the nonsymmetric thermal system.
+// preconditioned BiCGSTAB for the nonsymmetric thermal system, with
+// restarted GMRES available as a fallback or opt-in method.
+//
+// Every solver has two entry points: the classic one (allocates its Krylov
+// vectors per call) and a workspace one that reuses a caller-owned
+// SolverWorkspace across solves. Both produce bit-identical iterates — the
+// workspace variants re-initialise exactly the state the classic variants
+// construct, so persistent scratch never leaks a previous solve into the
+// next (DESIGN.md §S18).
 #pragma once
 
 #include <string>
@@ -9,9 +17,21 @@
 
 namespace lcn::sparse {
 
+/// Method selection for the general (nonsymmetric) solve path.
+enum class GeneralMethod {
+  kAuto,      ///< BiCGSTAB, retry, then GMRES fallback (seed behaviour)
+  kBicgstab,  ///< BiCGSTAB + retry only — no GMRES fallback
+  kGmres,     ///< restarted GMRES directly (hard-to-converge systems)
+};
+
 struct SolveOptions {
   double rel_tolerance = 1e-10;  ///< on ||r|| / ||b||
   std::size_t max_iterations = 0;  ///< 0 => 10 * n + 100
+  /// Which Krylov method the general solve path uses (opt-in; the default
+  /// preserves the historical BiCGSTAB-with-GMRES-fallback cascade).
+  GeneralMethod method = GeneralMethod::kAuto;
+  std::size_t gmres_restart = 40;   ///< Krylov dimension when GMRES runs
+  std::size_t gmres_max_outer = 0;  ///< 0 => ceil(10·n / restart) + 4
 };
 
 struct SolveReport {
@@ -20,14 +40,36 @@ struct SolveReport {
   double relative_residual = 0.0;
 };
 
+/// Persistent Krylov scratch. A default-constructed workspace works for any
+/// solver and any problem size; vectors grow on first use and are then
+/// reused allocation-free. Safe to reuse across different matrices and
+/// solvers (each solve re-initialises everything it reads), but NOT across
+/// threads concurrently — use one workspace per thread.
+struct SolverWorkspace {
+  // CG / shared scratch.
+  Vector r, ax, z, p, ap;
+  // BiCGSTAB extras.
+  Vector r0, v, phat, shat, s, t;
+  // GMRES scratch (Arnoldi basis, Givens-reduced Hessenberg, correction).
+  std::vector<Vector> basis;
+  std::vector<Vector> h;
+  Vector cs, sn, g, w, y, update;
+};
+
 /// Preconditioned conjugate gradient. A must be symmetric positive definite.
 /// x carries the initial guess in and the solution out.
 SolveReport cg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
                      const Preconditioner& m, const SolveOptions& opts = {});
+SolveReport cg_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                     const Preconditioner& m, SolverWorkspace& ws,
+                     const SolveOptions& opts = {});
 
 /// Preconditioned BiCGSTAB for general square systems.
 SolveReport bicgstab_solve(const CsrMatrix& a, const Vector& b, Vector& x,
                            const Preconditioner& m,
+                           const SolveOptions& opts = {});
+SolveReport bicgstab_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                           const Preconditioner& m, SolverWorkspace& ws,
                            const SolveOptions& opts = {});
 
 /// Convenience: solve and throw lcn::RuntimeError(context) on failure.
@@ -36,6 +78,14 @@ void solve_spd_or_throw(const CsrMatrix& a, const Vector& b, Vector& x,
                         const SolveOptions& opts = {});
 void solve_general_or_throw(const CsrMatrix& a, const Vector& b, Vector& x,
                             const std::string& context,
+                            const SolveOptions& opts = {});
+
+/// Fast-path variant: reuse a caller-held ILU(0) (already refactored for
+/// `a`) and a persistent workspace. Same method cascade and bit-identical
+/// iterates as the allocating variant with a fresh Ilu0Preconditioner(a).
+void solve_general_or_throw(const CsrMatrix& a, const Vector& b, Vector& x,
+                            const std::string& context,
+                            const Ilu0Preconditioner& ilu, SolverWorkspace& ws,
                             const SolveOptions& opts = {});
 
 }  // namespace lcn::sparse

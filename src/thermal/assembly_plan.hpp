@@ -1,0 +1,115 @@
+// One-time assembly plans for the thermal simulators (DESIGN.md §S18).
+//
+// For a fixed (problem, network, m) every Thermal2RM/Thermal4RM assembly has
+// the same sparsity pattern and the same conduction values — only the
+// advection entries, the inlet enthalpy terms and the outlet bookkeeping
+// scale with P_sys (the flow problem is linear, so the unit-pressure flow
+// field times P_sys is the flow field at P_sys). A ThermalAssemblyPlan
+// captures the traversal once: the symbolic pattern (via SparsityPlan), the
+// constant values, and for every flow-dependent slot the unit flow plus the
+// exact arithmetic form the traversal used. assemble(p_sys) is then a pure
+// numeric refill.
+//
+// Bit-identity contract: ThermalAssemblyPlan::assemble(p) reproduces the
+// fresh-traversal AssembledThermal bit-for-bit. Slots are recorded in the
+// canonical emission order (the same order the fresh traversal merges its
+// task-local buffers), values are recomputed with the identical expression
+// shapes (e.g. `cv * (unit * p) / 2.0`, never a pre-multiplied coefficient —
+// FP multiplication is not associative), and RHS contributions are replayed
+// as the original ordered sequence of `+=` operations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sparse/sparsity_plan.hpp"
+#include "thermal/field.hpp"
+
+namespace lcn {
+
+class ThermalAssemblyPlan {
+ public:
+  /// How a matrix slot's value is produced at refill time.
+  enum class SlotForm : std::uint8_t {
+    kConst = 0,  ///< value, independent of P_sys
+    kHalf,       ///< cv * (unit * P) / 2.0   (advection, row i)
+    kHalfNeg,    ///< -cv * (unit * P) / 2.0  (advection, row j)
+    kFull,       ///< cv * (unit * P)         (outlet self-term)
+  };
+
+  /// One ordered RHS contribution: either a constant addend (power, ambient)
+  /// or an inlet enthalpy term rhs[node] += cv·(unit·P)·T_in.
+  struct RhsOp {
+    std::size_t node;
+    double value;  ///< constant addend, or unit flow when is_flow
+    bool is_flow;
+  };
+
+  /// Task-local recording buffer. The model traversal fills one Emitter per
+  /// parallel task (mirroring its triplet-list parts) and merges them in
+  /// canonical order, so the recorded slot sequence equals the serial
+  /// emission sequence for any thread count.
+  struct Emitter {
+    std::vector<sparse::Triplet> pattern;  ///< values unused (placeholders)
+    std::vector<double> slot_value;
+    std::vector<SlotForm> slot_form;
+    std::vector<RhsOp> rhs_ops;
+    std::vector<std::pair<std::size_t, double>> outlet_units;
+    std::vector<double> inflow_units;
+
+    /// P_sys-invariant matrix entry. Zero values are dropped exactly like
+    /// TripletList::add does in a fresh assembly.
+    void add_const(std::size_t i, std::size_t j, double v) {
+      if (v == 0.0) return;
+      pattern.push_back({i, j, 0.0});
+      slot_value.push_back(v);
+      slot_form.push_back(SlotForm::kConst);
+    }
+    /// Flow-dependent matrix entry; `unit` is the unit-pressure flow and
+    /// `form` the expression the fresh traversal evaluates.
+    void add_flow(std::size_t i, std::size_t j, double unit, SlotForm form) {
+      pattern.push_back({i, j, 0.0});
+      slot_value.push_back(unit);
+      slot_form.push_back(form);
+    }
+    void add_rhs_const(std::size_t node, double v) {
+      rhs_ops.push_back({node, v, false});
+    }
+    void add_rhs_flow(std::size_t node, double unit) {
+      rhs_ops.push_back({node, unit, true});
+    }
+    void add_outlet(std::size_t node, double unit) {
+      outlet_units.emplace_back(node, unit);
+    }
+    void add_inflow(double unit) { inflow_units.push_back(unit); }
+  };
+
+  // P_sys-invariant skeleton, copied into every assembled system.
+  std::size_t n = 0;
+  int map_rows = 0;
+  int map_cols = 0;
+  double volumetric_heat = 0.0;  ///< coolant C_v
+  double inlet_temperature = 0.0;
+  sparse::Vector capacitance;
+  std::vector<std::vector<std::size_t>> source_nodes;
+
+  /// Concatenate task-local emitters in canonical order and run the symbolic
+  /// analysis. Called once by the owning model after its traversal.
+  void finalize(std::size_t nodes, const std::vector<const Emitter*>& parts);
+
+  /// Numeric refill: bit-identical to a fresh traversal at `p_sys`.
+  AssembledThermal assemble(double p_sys) const;
+
+  const sparse::SparsityPlan& pattern() const { return pattern_; }
+
+ private:
+  std::vector<double> slot_value_;
+  std::vector<SlotForm> slot_form_;
+  std::vector<RhsOp> rhs_ops_;
+  std::vector<std::pair<std::size_t, double>> outlet_units_;
+  std::vector<double> inflow_units_;
+  sparse::SparsityPlan pattern_;
+};
+
+}  // namespace lcn

@@ -50,7 +50,8 @@ double advected_heat(const AssembledThermal& system,
 }
 
 ThermalField solve_steady(const AssembledThermal& system, double rel_tolerance,
-                          const std::vector<double>* initial_guess) {
+                          const std::vector<double>* initial_guess,
+                          SteadyWorkspace* workspace) {
   std::vector<double> temps;
   if (initial_guess != nullptr &&
       initial_guess->size() == system.matrix.rows()) {
@@ -61,8 +62,21 @@ ThermalField solve_steady(const AssembledThermal& system, double rel_tolerance,
   sparse::SolveOptions opts;
   opts.rel_tolerance = rel_tolerance;
   const WallTimer timer;
-  sparse::solve_general_or_throw(system.matrix, system.rhs, temps,
-                                 "steady thermal solve", opts);
+  if (workspace != nullptr) {
+    // Matrices refilled from one assembly plan share index arrays, so the
+    // preconditioner skips its symbolic analysis on every refactorization.
+    if (workspace->ilu) {
+      workspace->ilu->refactor(system.matrix);
+    } else {
+      workspace->ilu.emplace(system.matrix);
+    }
+    sparse::solve_general_or_throw(system.matrix, system.rhs, temps,
+                                   "steady thermal solve", *workspace->ilu,
+                                   workspace->krylov, opts);
+  } else {
+    sparse::solve_general_or_throw(system.matrix, system.rhs, temps,
+                                   "steady thermal solve", opts);
+  }
   instrument::add_steady_solve(timer.seconds());
   return make_field(system, std::move(temps));
 }

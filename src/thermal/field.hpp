@@ -5,9 +5,12 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "sparse/csr.hpp"
+#include "sparse/preconditioner.hpp"
+#include "sparse/solvers.hpp"
 
 namespace lcn {
 
@@ -54,13 +57,26 @@ ThermalField make_field(const AssembledThermal& system,
 double advected_heat(const AssembledThermal& system,
                      const std::vector<double>& temperatures);
 
+/// Persistent state for repeated solve_steady() calls on systems that share
+/// a sparsity pattern (e.g. probe after probe on one model's assembly plan):
+/// the ILU(0) preconditioner keeps its symbolic analysis and refactorizes
+/// numerically, and the Krylov scratch vectors are reused instead of
+/// reallocated. One workspace per thread — no internal synchronization.
+struct SteadyWorkspace {
+  std::optional<sparse::Ilu0Preconditioner> ilu;
+  sparse::SolverWorkspace krylov;
+};
+
 /// Solve the steady system (ILU(0)-preconditioned BiCGSTAB, GMRES fallback)
 /// and build the field. Throws lcn::RuntimeError on non-convergence.
 /// `initial_guess` (optional, right size) warm-starts the Krylov solve —
 /// the pressure searches probe many nearby P_sys values, and the previous
-/// temperature field is an excellent starting point.
+/// temperature field is an excellent starting point. `workspace` (optional)
+/// carries preconditioner + Krylov scratch across calls; the solve itself is
+/// bit-identical with or without it.
 ThermalField solve_steady(const AssembledThermal& system,
                           double rel_tolerance = 1e-9,
-                          const std::vector<double>* initial_guess = nullptr);
+                          const std::vector<double>* initial_guess = nullptr,
+                          SteadyWorkspace* workspace = nullptr);
 
 }  // namespace lcn

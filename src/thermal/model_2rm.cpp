@@ -1,9 +1,7 @@
 #include "thermal/model_2rm.hpp"
 
 #include "common/assert.hpp"
-#include "common/instrument.hpp"
 #include "common/thread_pool.hpp"
-#include "common/timer.hpp"
 #include "flow/flow_solver.hpp"
 
 namespace lcn {
@@ -209,42 +207,47 @@ double Thermal2RM::pumping_power(double p_sys) const {
 }
 
 AssembledThermal Thermal2RM::assemble(double p_sys) const {
-  LCN_REQUIRE(p_sys > 0.0, "P_sys must be positive");
-  const WallTimer timer;
+  return plan().assemble(p_sys);
+}
+
+const ThermalAssemblyPlan& Thermal2RM::plan() const {
+  std::lock_guard<std::mutex> lock(*plan_mutex_);
+  if (!plan_) plan_ = build_plan();
+  return *plan_;
+}
+
+std::shared_ptr<const ThermalAssemblyPlan> Thermal2RM::build_plan() const {
   const Grid2D& grid = problem_.grid;
   const Stack& stack = problem_.stack;
   const double pitch = grid.pitch();
   const double cell_area = pitch * pitch;
   const std::size_t n = node_total_;
 
-  AssembledThermal out;
-  out.rhs.assign(n, 0.0);
-  out.capacitance.assign(n, 0.0);
-  out.map_rows = block_rows_;
-  out.map_cols = block_cols_;
-  out.volumetric_heat = problem_.coolant.volumetric_heat;
-  out.inlet_temperature = problem_.inlet_temperature;
+  auto plan = std::make_shared<ThermalAssemblyPlan>();
+  plan->capacitance.assign(n, 0.0);
+  plan->map_rows = block_rows_;
+  plan->map_cols = block_cols_;
+  plan->volumetric_heat = problem_.coolant.volumetric_heat;
+  plan->inlet_temperature = problem_.inlet_temperature;
 
-  // One task per (layer, block row). Each task fills task-local triplet /
-  // outlet / inflow buffers and writes only its own blocks' rhs and
-  // capacitance entries, so tasks are data-race free. Buffers are merged in
-  // canonical (layer, block-row) order afterwards, which reproduces the
-  // serial emission sequence exactly — the assembled system is bit-identical
-  // for every thread count.
+  // One task per (layer, block row), exactly mirroring the historical
+  // fresh-assembly traversal: each task records into a task-local Emitter
+  // and writes only its own blocks' capacitance entries, so tasks are
+  // data-race free. Emitters are merged in canonical (layer, block-row)
+  // order afterwards, which reproduces the serial emission sequence exactly
+  // — the recorded plan (and every refill from it) is bit-identical for
+  // every thread count.
   struct RowTask {
     int layer = 0;
     int block_row = 0;
-    sparse::TripletList trip;
-    std::vector<std::pair<std::size_t, double>> outlet_terms;
-    std::vector<double> inflow;  // per-block inlet flows, traversal order
-    RowTask(int l, int br, std::size_t nodes)
-        : layer(l), block_row(br), trip(nodes, nodes) {}
+    ThermalAssemblyPlan::Emitter em;
+    RowTask(int l, int br) : layer(l), block_row(br) {}
   };
   std::vector<RowTask> tasks;
   tasks.reserve(static_cast<std::size_t>(stack.layer_count()) *
                 static_cast<std::size_t>(block_rows_));
   for (int l = 0; l < stack.layer_count(); ++l) {
-    for (int br = 0; br < block_rows_; ++br) tasks.emplace_back(l, br, n);
+    for (int br = 0; br < block_rows_; ++br) tasks.emplace_back(l, br);
   }
 
   global_pool().parallel_for(tasks.size(), [&](std::size_t ti) {
@@ -263,15 +266,15 @@ AssembledThermal Thermal2RM::assemble(double p_sys) const {
                                             problem_.coolant)
                    : 0.0;
 
-    sparse::TripletList& triplets = task.trip;
+    ThermalAssemblyPlan::Emitter& em = task.em;
     auto add_pair = [&](std::ptrdiff_t i, std::ptrdiff_t j, double g) {
       if (g <= 0.0 || i < 0 || j < 0) return;
       const auto ii = static_cast<std::size_t>(i);
       const auto jj = static_cast<std::size_t>(j);
-      triplets.add(ii, ii, g);
-      triplets.add(jj, jj, g);
-      triplets.add(ii, jj, -g);
-      triplets.add(jj, ii, -g);
+      em.add_const(ii, ii, g);
+      em.add_const(jj, jj, g);
+      em.add_const(ii, jj, -g);
+      em.add_const(jj, ii, -g);
     };
 
     {
@@ -287,11 +290,11 @@ AssembledThermal Thermal2RM::assemble(double p_sys) const {
 
         // Heat capacities.
         if (i_solid >= 0) {
-          out.capacitance[static_cast<std::size_t>(i_solid)] =
+          plan->capacitance[static_cast<std::size_t>(i_solid)] =
               nsolid * cell_area * t * layer.material.volumetric_heat;
         }
         if (i_liquid >= 0) {
-          out.capacitance[static_cast<std::size_t>(i_liquid)] =
+          plan->capacitance[static_cast<std::size_t>(i_liquid)] =
               nliquid * cell_area * t * problem_.coolant.volumetric_heat;
         }
 
@@ -383,9 +386,10 @@ AssembledThermal Thermal2RM::assemble(double p_sys) const {
           }
         }
 
-        // --- Liquid advection between blocks + ports.
+        // --- Liquid advection between blocks + ports. All slot emissions
+        // are guarded on unit-pressure quantities only, so the recorded
+        // pattern is valid for every P_sys > 0.
         if (is_channel && i_liquid >= 0) {
-          const double cv = problem_.coolant.volumetric_heat;
           const auto ii = static_cast<std::size_t>(i_liquid);
           const struct {
             double unit_q;
@@ -399,21 +403,20 @@ AssembledThermal Thermal2RM::assemble(double p_sys) const {
             LCN_CHECK(j_liquid >= 0,
                       "net inter-block flow into a block without liquid");
             const auto jj = static_cast<std::size_t>(j_liquid);
-            const double q = a.unit_q * p_sys;
-            triplets.add(ii, ii, cv * q / 2.0);
-            triplets.add(ii, jj, cv * q / 2.0);
-            triplets.add(jj, jj, -cv * q / 2.0);
-            triplets.add(jj, ii, -cv * q / 2.0);
+            using Form = ThermalAssemblyPlan::SlotForm;
+            em.add_flow(ii, ii, a.unit_q, Form::kHalf);
+            em.add_flow(ii, jj, a.unit_q, Form::kHalf);
+            em.add_flow(jj, jj, a.unit_q, Form::kHalfNeg);
+            em.add_flow(jj, ii, a.unit_q, Form::kHalfNeg);
           }
           if ((*stats)[b].unit_inflow > 0.0) {
-            const double q = (*stats)[b].unit_inflow * p_sys;
-            out.rhs[ii] += cv * q * problem_.inlet_temperature;
-            task.inflow.push_back(q);
+            em.add_rhs_flow(ii, (*stats)[b].unit_inflow);
+            em.add_inflow((*stats)[b].unit_inflow);
           }
           if ((*stats)[b].unit_outflow > 0.0) {
-            const double q = (*stats)[b].unit_outflow * p_sys;
-            triplets.add(ii, ii, cv * q);
-            task.outlet_terms.emplace_back(ii, q);
+            em.add_flow(ii, ii, (*stats)[b].unit_outflow,
+                        ThermalAssemblyPlan::SlotForm::kFull);
+            em.add_outlet(ii, (*stats)[b].unit_outflow);
           }
         }
 
@@ -427,31 +430,27 @@ AssembledThermal Thermal2RM::assemble(double p_sys) const {
               power += map.at(r, c);
             }
           }
-          out.rhs[static_cast<std::size_t>(i_solid)] += power;
+          em.add_rhs_const(static_cast<std::size_t>(i_solid), power);
         }
 
         // --- Ambient sink on top.
         if (l == stack.layer_count() - 1 &&
             problem_.ambient_conductance > 0.0 && i_solid >= 0) {
           const double g = problem_.ambient_conductance * cells * cell_area;
-          triplets.add(static_cast<std::size_t>(i_solid),
+          em.add_const(static_cast<std::size_t>(i_solid),
                        static_cast<std::size_t>(i_solid), g);
-          out.rhs[static_cast<std::size_t>(i_solid)] +=
-              g * problem_.ambient_temperature;
+          em.add_rhs_const(static_cast<std::size_t>(i_solid),
+                           g * problem_.ambient_temperature);
         }
       }
     }
   });
 
-  // Merge task-local buffers in canonical order (flat sums match the serial
+  // Merge task-local emitters in canonical order (matches the serial
   // traversal order exactly).
-  std::vector<const sparse::TripletList*> parts;
+  std::vector<const ThermalAssemblyPlan::Emitter*> parts;
   parts.reserve(tasks.size());
-  for (const RowTask& task : tasks) {
-    parts.push_back(&task.trip);
-    for (const auto& term : task.outlet_terms) out.outlet_terms.push_back(term);
-    for (double q : task.inflow) out.inlet_flow_total += q;
-  }
+  for (const RowTask& task : tasks) parts.push_back(&task.em);
 
   // Source maps (block row-major).
   for (int l = 0; l < stack.layer_count(); ++l) {
@@ -465,12 +464,11 @@ AssembledThermal Thermal2RM::assemble(double p_sys) const {
         nodes.push_back(static_cast<std::size_t>(id));
       }
     }
-    out.source_nodes.push_back(std::move(nodes));
+    plan->source_nodes.push_back(std::move(nodes));
   }
 
-  out.matrix = sparse::merge_to_csr(n, n, parts);
-  instrument::add_assembly(timer.seconds());
-  return out;
+  plan->finalize(n, parts);
+  return plan;
 }
 
 ThermalField Thermal2RM::simulate(double p_sys) const {

@@ -17,9 +17,12 @@
 // by more than m² (Fig. 9(b)), at a small accuracy cost (Fig. 9(a)).
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "network/cooling_network.hpp"
+#include "thermal/assembly_plan.hpp"
 #include "thermal/field.hpp"
 #include "thermal/problem.hpp"
 
@@ -33,8 +36,15 @@ class Thermal2RM {
   Thermal2RM(CoolingProblem problem, std::vector<CoolingNetwork> networks,
              int m);
 
+  /// Assemble at P_sys. First call builds the cached AssemblyPlan (symbolic
+  /// pattern + P_sys-invariant values); every call — including the first —
+  /// produces a system bit-identical to the historical fresh traversal.
   AssembledThermal assemble(double p_sys) const;
   ThermalField simulate(double p_sys) const;
+
+  /// The cached symbolic assembly plan (built on first use; shared across
+  /// copies of this model).
+  const ThermalAssemblyPlan& plan() const;
 
   double pumping_power(double p_sys) const;
   double system_flow(double p_sys) const;
@@ -76,6 +86,7 @@ class Thermal2RM {
 
   void build_nodes();
   void build_block_stats();
+  std::shared_ptr<const ThermalAssemblyPlan> build_plan() const;
 
   CoolingProblem problem_;
   std::vector<CoolingNetwork> networks_;
@@ -88,6 +99,11 @@ class Thermal2RM {
   std::vector<std::vector<std::ptrdiff_t>> node_id_;
   /// stats_[channel_index][block]
   std::vector<std::vector<BlockStats>> stats_;
+  /// Lazily-built assembly plan; shared_ptr members keep the model copyable
+  /// (copies share the cached plan — it depends only on immutable state).
+  mutable std::shared_ptr<std::mutex> plan_mutex_ =
+      std::make_shared<std::mutex>();
+  mutable std::shared_ptr<const ThermalAssemblyPlan> plan_;
 };
 
 }  // namespace lcn

@@ -3,9 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
-#include "common/instrument.hpp"
 #include "common/thread_pool.hpp"
-#include "common/timer.hpp"
 
 namespace lcn {
 
@@ -63,8 +61,16 @@ double Thermal4RM::pumping_power(double p_sys) const {
 }
 
 AssembledThermal Thermal4RM::assemble(double p_sys) const {
-  LCN_REQUIRE(p_sys > 0.0, "P_sys must be positive");
-  const WallTimer timer;
+  return plan().assemble(p_sys);
+}
+
+const ThermalAssemblyPlan& Thermal4RM::plan() const {
+  std::lock_guard<std::mutex> lock(*plan_mutex_);
+  if (!plan_) plan_ = build_plan();
+  return *plan_;
+}
+
+std::shared_ptr<const ThermalAssemblyPlan> Thermal4RM::build_plan() const {
   const Grid2D& grid = problem_.grid;
   const Stack& stack = problem_.stack;
   const std::size_t ncells = grid.cell_count();
@@ -73,13 +79,12 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
   const double pitch = grid.pitch();
   const double cell_area = pitch * pitch;
 
-  AssembledThermal out;
-  out.rhs.assign(n, 0.0);
-  out.capacitance.assign(n, 0.0);
-  out.map_rows = grid.rows();
-  out.map_cols = grid.cols();
-  out.volumetric_heat = problem_.coolant.volumetric_heat;
-  out.inlet_temperature = problem_.inlet_temperature;
+  auto plan = std::make_shared<ThermalAssemblyPlan>();
+  plan->capacitance.assign(n, 0.0);
+  plan->map_rows = grid.rows();
+  plan->map_cols = grid.cols();
+  plan->volumetric_heat = problem_.coolant.volumetric_heat;
+  plan->inlet_temperature = problem_.inlet_temperature;
 
   // Per-layer context shared by every row block of the layer.
   struct LayerCtx {
@@ -125,20 +130,19 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
       blocks.push_back({l, r0, std::min(r0 + kBlockRows, grid.rows())});
     }
   }
-  std::vector<sparse::TripletList> block_trips(blocks.size(),
-                                               sparse::TripletList(n, n));
+  std::vector<ThermalAssemblyPlan::Emitter> block_ems(blocks.size());
 
   global_pool().parallel_for(blocks.size(), [&](std::size_t bi) {
     const RowBlock& block = blocks[bi];
     const int l = block.layer;
     const LayerCtx& lc = ctx[static_cast<std::size_t>(l)];
-    sparse::TripletList& trip = block_trips[bi];
-    auto add_pair = [&trip](std::size_t i, std::size_t j, double g) {
+    ThermalAssemblyPlan::Emitter& em = block_ems[bi];
+    auto add_pair = [&em](std::size_t i, std::size_t j, double g) {
       if (g <= 0.0) return;
-      trip.add(i, i, g);
-      trip.add(j, j, g);
-      trip.add(i, j, -g);
-      trip.add(j, i, -g);
+      em.add_const(i, i, g);
+      em.add_const(j, j, g);
+      em.add_const(i, j, -g);
+      em.add_const(j, i, -g);
     };
 
     for (int r = block.row0; r < block.row1; ++r) {
@@ -147,7 +151,7 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
         const bool i_liquid = lc.is_channel && lc.net->is_liquid(r, c);
 
         // Heat capacity (each node written by exactly one block).
-        out.capacitance[i] =
+        plan->capacitance[i] =
             cell_area * lc.t *
             (i_liquid ? problem_.coolant.volumetric_heat
                       : lc.layer->material.volumetric_heat);
@@ -193,50 +197,52 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
   });
 
   // Serial per-layer tail: advection, ports, power injection, ambient sink.
-  // These write shared state (rhs, outlet terms, inlet flow) and are cheap
-  // relative to the conduction loop.
-  std::vector<sparse::TripletList> tails(static_cast<std::size_t>(layer_count),
-                                         sparse::TripletList(n, n));
+  // All slot emissions are guarded on unit-pressure quantities only, so the
+  // recorded pattern is valid for every P_sys > 0.
+  std::vector<ThermalAssemblyPlan::Emitter> tails(
+      static_cast<std::size_t>(layer_count));
   for (int l = 0; l < layer_count; ++l) {
     const LayerCtx& lc = ctx[static_cast<std::size_t>(l)];
-    sparse::TripletList& trip = tails[static_cast<std::size_t>(l)];
+    ThermalAssemblyPlan::Emitter& em = tails[static_cast<std::size_t>(l)];
+    using Form = ThermalAssemblyPlan::SlotForm;
 
     // Liquid–liquid advection (Eq. 6, central differencing) and ports.
     if (lc.is_channel) {
-      const double cv = problem_.coolant.volumetric_heat;
       for (std::size_t li = 0; li < lc.flow->liquid_cells.size(); ++li) {
         const CellCoord cc = grid.coord(lc.flow->liquid_cells[li]);
         const std::size_t i = node(l, cc.row, cc.col);
         // East/south directed flows cover each liquid pair exactly once.
-        const double q_pair[2] = {lc.flow->q_east[li] * p_sys,
-                                  lc.flow->q_south[li] * p_sys};
+        const double unit_pair[2] = {lc.flow->q_east[li],
+                                     lc.flow->q_south[li]};
         const int nbr[2][2] = {{cc.row, cc.col + 1}, {cc.row + 1, cc.col}};
         for (int d = 0; d < 2; ++d) {
-          const double q = q_pair[d];  // signed flow i -> j
-          if (q == 0.0) continue;
+          const double unit = unit_pair[d];  // signed unit flow i -> j
+          if (unit == 0.0) continue;
           const std::size_t j = node(l, nbr[d][0], nbr[d][1]);
           // Energy balance row i: -C_v·F_ji·(T_i+T_j)/2 with F_ji = -q.
-          trip.add(i, i, cv * q / 2.0);
-          trip.add(i, j, cv * q / 2.0);
+          em.add_flow(i, i, unit, Form::kHalf);
+          em.add_flow(i, j, unit, Form::kHalf);
           // Row j: F_ij = +q.
-          trip.add(j, j, -cv * q / 2.0);
-          trip.add(j, i, -cv * q / 2.0);
+          em.add_flow(j, j, unit, Form::kHalfNeg);
+          em.add_flow(j, i, unit, Form::kHalfNeg);
         }
       }
       for (std::size_t p = 0; p < lc.net->ports().size(); ++p) {
         const Port& port = lc.net->ports()[p];
         const std::size_t i = node(l, port.row, port.col);
-        const double q = lc.flow->port_flow[p] * p_sys;
+        const double unit = lc.flow->port_flow[p];
         if (port.kind == PortKind::kInlet) {
           // Inlet face temperature is fixed at T_in: the advected enthalpy
           // C_v·Q·T_in is a constant heat inflow.
-          out.rhs[i] += cv * q * problem_.inlet_temperature;
-          out.inlet_flow_total += q;
+          em.add_rhs_flow(i, unit);
+          em.add_inflow(unit);
         } else {
           // Outlet face leaves at the cell temperature T_i (paper §2.2):
-          // -C_v·(-Q)·T_i = +C_v·Q·T_i on the left-hand side.
-          trip.add(i, i, cv * q);
-          out.outlet_terms.emplace_back(i, q);
+          // -C_v·(-Q)·T_i = +C_v·Q·T_i on the left-hand side. A fresh
+          // traversal drops the zero matrix entry of a flowless outlet but
+          // still records the outlet term — mirror both.
+          if (unit != 0.0) em.add_flow(i, i, unit, Form::kFull);
+          em.add_outlet(i, unit);
         }
       }
     }
@@ -247,7 +253,7 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
           lc.layer->source_index)];
       for (int r = 0; r < grid.rows(); ++r) {
         for (int c = 0; c < grid.cols(); ++c) {
-          out.rhs[node(l, r, c)] += map.at(r, c);
+          em.add_rhs_const(node(l, r, c), map.at(r, c));
         }
       }
     }
@@ -258,8 +264,8 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
         for (int c = 0; c < grid.cols(); ++c) {
           const std::size_t i = node(l, r, c);
           const double g = problem_.ambient_conductance * cell_area;
-          trip.add(i, i, g);
-          out.rhs[i] += g * problem_.ambient_temperature;
+          em.add_const(i, i, g);
+          em.add_rhs_const(i, g * problem_.ambient_temperature);
         }
       }
     }
@@ -267,12 +273,12 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
 
   // Merge in canonical order: layer-major, row blocks first, then the
   // layer's tail — the exact sequence the serial assembly used to emit.
-  std::vector<const sparse::TripletList*> parts;
+  std::vector<const ThermalAssemblyPlan::Emitter*> parts;
   parts.reserve(blocks.size() + static_cast<std::size_t>(layer_count));
   std::size_t bi = 0;
   for (int l = 0; l < layer_count; ++l) {
     for (; bi < blocks.size() && blocks[bi].layer == l; ++bi) {
-      parts.push_back(&block_trips[bi]);
+      parts.push_back(&block_ems[bi]);
     }
     parts.push_back(&tails[static_cast<std::size_t>(l)]);
   }
@@ -285,12 +291,11 @@ AssembledThermal Thermal4RM::assemble(double p_sys) const {
     for (std::size_t cell = 0; cell < ncells; ++cell) {
       nodes.push_back(static_cast<std::size_t>(l) * ncells + cell);
     }
-    out.source_nodes.push_back(std::move(nodes));
+    plan->source_nodes.push_back(std::move(nodes));
   }
 
-  out.matrix = sparse::merge_to_csr(n, n, parts);
-  instrument::add_assembly(timer.seconds());
-  return out;
+  plan->finalize(n, parts);
+  return plan;
 }
 
 ThermalField Thermal4RM::simulate(double p_sys) const {

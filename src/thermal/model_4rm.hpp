@@ -12,8 +12,11 @@
 // (Fig. 9) and matches the ICCAD 2015 contest extension of 3D-ICE.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "thermal/assembly_plan.hpp"
 #include "thermal/field.hpp"
 #include "thermal/problem.hpp"
 #include "network/cooling_network.hpp"
@@ -27,8 +30,15 @@ class Thermal4RM {
   /// simulate() scales them to any P_sys (the flow problem is linear).
   Thermal4RM(CoolingProblem problem, std::vector<CoolingNetwork> networks);
 
-  /// Assemble the steady RC system at a given system pressure drop.
+  /// Assemble the steady RC system at a given system pressure drop. First
+  /// call builds the cached AssemblyPlan (symbolic pattern + P_sys-invariant
+  /// values); every call — including the first — produces a system
+  /// bit-identical to the historical fresh traversal.
   AssembledThermal assemble(double p_sys) const;
+
+  /// The cached symbolic assembly plan (built on first use; shared across
+  /// copies of this model).
+  const ThermalAssemblyPlan& plan() const;
 
   /// Assemble + solve + extract metrics.
   ThermalField simulate(double p_sys) const;
@@ -51,9 +61,16 @@ class Thermal4RM {
   std::size_t node(int layer, int row, int col) const;
 
  private:
+  std::shared_ptr<const ThermalAssemblyPlan> build_plan() const;
+
   CoolingProblem problem_;
   std::vector<CoolingNetwork> networks_;
   std::vector<FlowSolution> flows_;  ///< unit-pressure, per channel layer
+  /// Lazily-built assembly plan; shared_ptr members keep the model copyable
+  /// (copies share the cached plan — it depends only on immutable state).
+  mutable std::shared_ptr<std::mutex> plan_mutex_ =
+      std::make_shared<std::mutex>();
+  mutable std::shared_ptr<const ThermalAssemblyPlan> plan_;
 };
 
 }  // namespace lcn
