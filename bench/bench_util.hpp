@@ -20,6 +20,7 @@
 #include "common/csv.hpp"
 #include "common/env.hpp"
 #include "common/instrument.hpp"
+#include "common/manifest.hpp"
 #include "common/strings.hpp"
 
 namespace lcn::benchutil {
@@ -86,12 +87,15 @@ inline void append_perf_record(const PerfRecord& record,
     metrics += strfmt("%s\"%s\": %.9g", metrics.empty() ? "" : ", ",
                       name.c_str(), value);
   }
+  // The manifest pins the record to a build: git SHA ("unknown" when git is
+  // unavailable), build type, thread config. Computed once per process.
   std::fprintf(out,
                "{\"bench\": \"%s\", \"config\": \"%s\", \"threads\": %zu, "
-               "\"seconds\": %.6f, \"metrics\": {%s}, \"counters\": %s}\n",
+               "\"seconds\": %.6f, \"metrics\": {%s}, \"counters\": %s, "
+               "\"manifest\": %s}\n",
                record.bench.c_str(), record.config.c_str(), record.threads,
                record.seconds, metrics.c_str(),
-               record.counters.json().c_str());
+               record.counters.json().c_str(), run_manifest().json().c_str());
   std::fclose(out);
   std::printf("  [perf: %s %s/%s]\n", path.c_str(), record.bench.c_str(),
               record.config.c_str());

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Convert an LCN JSONL trace (LCN_TRACE output, DESIGN.md S19) to Chrome
+trace_event JSON loadable in chrome://tracing or https://ui.perfetto.dev.
+
+Usage:
+    python3 scripts/trace_to_chrome.py trace.jsonl [out.json]
+
+Stdlib only. Validates the trace while converting:
+  - every line must parse as a self-contained JSON object,
+  - begin/end events must pair up as a stack per thread,
+  - timestamps must be monotone non-decreasing per thread.
+Exits non-zero (with a message on stderr) on any violation.
+"""
+
+import json
+import sys
+
+
+def convert(lines):
+    """Return (trace_dict, errors). Timestamps ns -> us (Chrome's unit)."""
+    out = {"traceEvents": [], "displayTimeUnit": "ms"}
+    errors = []
+    stacks = {}   # tid -> [name, ...] of open B events
+    last_ts = {}  # tid -> last seen ts_ns
+    for lineno, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            ev = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        ph = ev.get("ph")
+        name = ev.get("name", "?")
+        if ph == "M":
+            # Manifest header: carried through as trace-wide metadata.
+            out["otherData"] = ev.get("args", {})
+            continue
+        if ph not in ("B", "E", "i", "C"):
+            errors.append(f"line {lineno}: unknown phase {ph!r}")
+            continue
+        tid = ev.get("tid", 0)
+        ts_ns = ev.get("ts_ns")
+        if not isinstance(ts_ns, int):
+            errors.append(f"line {lineno}: missing/non-integer ts_ns")
+            continue
+        if ts_ns < last_ts.get(tid, 0):
+            errors.append(
+                f"line {lineno}: non-monotonic ts_ns on tid {tid} "
+                f"({ts_ns} < {last_ts[tid]})")
+        last_ts[tid] = ts_ns
+        if ph == "B":
+            stacks.setdefault(tid, []).append(name)
+        elif ph == "E":
+            stack = stacks.setdefault(tid, [])
+            if not stack:
+                errors.append(f"line {lineno}: E '{name}' without open span "
+                              f"on tid {tid}")
+            elif stack[-1] != name:
+                errors.append(f"line {lineno}: E '{name}' does not match "
+                              f"open span '{stack[-1]}' on tid {tid}")
+            else:
+                stack.pop()
+        chrome = {
+            "name": name,
+            "ph": ph,
+            "pid": 1,
+            "tid": tid,
+            "ts": ts_ns / 1000.0,  # Chrome expects microseconds
+        }
+        if ph == "i":
+            chrome["s"] = "t"  # instant scope: thread
+        if ph == "C":
+            chrome["args"] = {"value": ev.get("args", {}).get("value", 0)}
+        elif ev.get("args"):
+            chrome["args"] = ev["args"]
+        out["traceEvents"].append(chrome)
+    for tid, stack in stacks.items():
+        if stack:
+            errors.append(f"tid {tid}: unclosed span(s) at EOF: {stack}")
+    return out, errors
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    src = argv[1]
+    dst = argv[2] if len(argv) == 3 else src.rsplit(".", 1)[0] + ".chrome.json"
+    with open(src, encoding="utf-8") as fh:
+        trace, errors = convert(fh)
+    for err in errors:
+        print(f"trace_to_chrome: {err}", file=sys.stderr)
+    with open(dst, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    print(f"trace_to_chrome: {len(trace['traceEvents'])} events -> {dst}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,29 +9,40 @@ namespace lcn::instrument {
 
 namespace {
 
+// The one list of counters; Counters, snapshot(), delta() and
+// snapshot_and_reset() are all generated from it so a new counter cannot be
+// added to one and forgotten in another.
+#define LCN_INSTRUMENT_COUNTERS(X) \
+  X(spmv_count)                    \
+  X(spmv_nnz)                      \
+  X(cg_solves)                     \
+  X(cg_iterations)                 \
+  X(bicgstab_solves)               \
+  X(bicgstab_iterations)           \
+  X(gmres_solves)                  \
+  X(gmres_iterations)              \
+  X(assemblies)                    \
+  X(assemblies_symbolic)           \
+  X(assemblies_refill)             \
+  X(workspace_reuses)              \
+  X(flow_plan_hits)                \
+  X(flow_plan_misses)              \
+  X(steady_solves)                 \
+  X(pressure_probes)               \
+  X(cache_hits)                    \
+  X(cache_misses)                  \
+  X(assembly_micros)               \
+  X(solve_micros)                  \
+  X(scenarios_evaluated)           \
+  X(scenarios_infeasible)          \
+  X(recovery_searches)             \
+  X(trace_events_emitted)          \
+  X(trace_events_dropped)
+
 struct Counters {
-  std::atomic<std::uint64_t> spmv_count{0};
-  std::atomic<std::uint64_t> spmv_nnz{0};
-  std::atomic<std::uint64_t> cg_solves{0};
-  std::atomic<std::uint64_t> cg_iterations{0};
-  std::atomic<std::uint64_t> bicgstab_solves{0};
-  std::atomic<std::uint64_t> bicgstab_iterations{0};
-  std::atomic<std::uint64_t> gmres_solves{0};
-  std::atomic<std::uint64_t> gmres_iterations{0};
-  std::atomic<std::uint64_t> assemblies{0};
-  std::atomic<std::uint64_t> assemblies_symbolic{0};
-  std::atomic<std::uint64_t> assemblies_refill{0};
-  std::atomic<std::uint64_t> workspace_reuses{0};
-  std::atomic<std::uint64_t> flow_plan_hits{0};
-  std::atomic<std::uint64_t> flow_plan_misses{0};
-  std::atomic<std::uint64_t> steady_solves{0};
-  std::atomic<std::uint64_t> cache_hits{0};
-  std::atomic<std::uint64_t> cache_misses{0};
-  std::atomic<std::uint64_t> assembly_micros{0};
-  std::atomic<std::uint64_t> solve_micros{0};
-  std::atomic<std::uint64_t> scenarios_evaluated{0};
-  std::atomic<std::uint64_t> scenarios_infeasible{0};
-  std::atomic<std::uint64_t> recovery_searches{0};
+#define LCN_INSTRUMENT_FIELD(name) std::atomic<std::uint64_t> name{0};
+  LCN_INSTRUMENT_COUNTERS(LCN_INSTRUMENT_FIELD)
+#undef LCN_INSTRUMENT_FIELD
 };
 
 Counters& counters() {
@@ -95,6 +106,10 @@ void add_steady_solve(double seconds) {
   counters().solve_micros.fetch_add(micros(seconds), kRelaxed);
 }
 
+void add_pressure_probe() {
+  counters().pressure_probes.fetch_add(1, kRelaxed);
+}
+
 void add_cache_hit() { counters().cache_hits.fetch_add(1, kRelaxed); }
 void add_cache_miss() { counters().cache_misses.fetch_add(1, kRelaxed); }
 
@@ -108,86 +123,40 @@ void add_recovery_search() {
   counters().recovery_searches.fetch_add(1, kRelaxed);
 }
 
+void add_trace_event() {
+  counters().trace_events_emitted.fetch_add(1, kRelaxed);
+}
+void add_trace_drop() {
+  counters().trace_events_dropped.fetch_add(1, kRelaxed);
+}
+
 Snapshot snapshot() {
   const Counters& c = counters();
   Snapshot s;
-  s.spmv_count = c.spmv_count.load(kRelaxed);
-  s.spmv_nnz = c.spmv_nnz.load(kRelaxed);
-  s.cg_solves = c.cg_solves.load(kRelaxed);
-  s.cg_iterations = c.cg_iterations.load(kRelaxed);
-  s.bicgstab_solves = c.bicgstab_solves.load(kRelaxed);
-  s.bicgstab_iterations = c.bicgstab_iterations.load(kRelaxed);
-  s.gmres_solves = c.gmres_solves.load(kRelaxed);
-  s.gmres_iterations = c.gmres_iterations.load(kRelaxed);
-  s.assemblies = c.assemblies.load(kRelaxed);
-  s.assemblies_symbolic = c.assemblies_symbolic.load(kRelaxed);
-  s.assemblies_refill = c.assemblies_refill.load(kRelaxed);
-  s.workspace_reuses = c.workspace_reuses.load(kRelaxed);
-  s.flow_plan_hits = c.flow_plan_hits.load(kRelaxed);
-  s.flow_plan_misses = c.flow_plan_misses.load(kRelaxed);
-  s.steady_solves = c.steady_solves.load(kRelaxed);
-  s.cache_hits = c.cache_hits.load(kRelaxed);
-  s.cache_misses = c.cache_misses.load(kRelaxed);
-  s.assembly_micros = c.assembly_micros.load(kRelaxed);
-  s.solve_micros = c.solve_micros.load(kRelaxed);
-  s.scenarios_evaluated = c.scenarios_evaluated.load(kRelaxed);
-  s.scenarios_infeasible = c.scenarios_infeasible.load(kRelaxed);
-  s.recovery_searches = c.recovery_searches.load(kRelaxed);
+#define LCN_INSTRUMENT_LOAD(name) s.name = c.name.load(kRelaxed);
+  LCN_INSTRUMENT_COUNTERS(LCN_INSTRUMENT_LOAD)
+#undef LCN_INSTRUMENT_LOAD
   return s;
 }
 
 Snapshot delta(const Snapshot& before, const Snapshot& after) {
   Snapshot d;
-  d.spmv_count = after.spmv_count - before.spmv_count;
-  d.spmv_nnz = after.spmv_nnz - before.spmv_nnz;
-  d.cg_solves = after.cg_solves - before.cg_solves;
-  d.cg_iterations = after.cg_iterations - before.cg_iterations;
-  d.bicgstab_solves = after.bicgstab_solves - before.bicgstab_solves;
-  d.bicgstab_iterations = after.bicgstab_iterations - before.bicgstab_iterations;
-  d.gmres_solves = after.gmres_solves - before.gmres_solves;
-  d.gmres_iterations = after.gmres_iterations - before.gmres_iterations;
-  d.assemblies = after.assemblies - before.assemblies;
-  d.assemblies_symbolic = after.assemblies_symbolic - before.assemblies_symbolic;
-  d.assemblies_refill = after.assemblies_refill - before.assemblies_refill;
-  d.workspace_reuses = after.workspace_reuses - before.workspace_reuses;
-  d.flow_plan_hits = after.flow_plan_hits - before.flow_plan_hits;
-  d.flow_plan_misses = after.flow_plan_misses - before.flow_plan_misses;
-  d.steady_solves = after.steady_solves - before.steady_solves;
-  d.cache_hits = after.cache_hits - before.cache_hits;
-  d.cache_misses = after.cache_misses - before.cache_misses;
-  d.assembly_micros = after.assembly_micros - before.assembly_micros;
-  d.solve_micros = after.solve_micros - before.solve_micros;
-  d.scenarios_evaluated = after.scenarios_evaluated - before.scenarios_evaluated;
-  d.scenarios_infeasible = after.scenarios_infeasible - before.scenarios_infeasible;
-  d.recovery_searches = after.recovery_searches - before.recovery_searches;
+#define LCN_INSTRUMENT_DIFF(name) d.name = after.name - before.name;
+  LCN_INSTRUMENT_COUNTERS(LCN_INSTRUMENT_DIFF)
+#undef LCN_INSTRUMENT_DIFF
   return d;
 }
 
-void reset() {
+Snapshot snapshot_and_reset() {
   Counters& c = counters();
-  c.spmv_count.store(0, kRelaxed);
-  c.spmv_nnz.store(0, kRelaxed);
-  c.cg_solves.store(0, kRelaxed);
-  c.cg_iterations.store(0, kRelaxed);
-  c.bicgstab_solves.store(0, kRelaxed);
-  c.bicgstab_iterations.store(0, kRelaxed);
-  c.gmres_solves.store(0, kRelaxed);
-  c.gmres_iterations.store(0, kRelaxed);
-  c.assemblies.store(0, kRelaxed);
-  c.assemblies_symbolic.store(0, kRelaxed);
-  c.assemblies_refill.store(0, kRelaxed);
-  c.workspace_reuses.store(0, kRelaxed);
-  c.flow_plan_hits.store(0, kRelaxed);
-  c.flow_plan_misses.store(0, kRelaxed);
-  c.steady_solves.store(0, kRelaxed);
-  c.cache_hits.store(0, kRelaxed);
-  c.cache_misses.store(0, kRelaxed);
-  c.assembly_micros.store(0, kRelaxed);
-  c.solve_micros.store(0, kRelaxed);
-  c.scenarios_evaluated.store(0, kRelaxed);
-  c.scenarios_infeasible.store(0, kRelaxed);
-  c.recovery_searches.store(0, kRelaxed);
+  Snapshot s;
+#define LCN_INSTRUMENT_DRAIN(name) s.name = c.name.exchange(0, kRelaxed);
+  LCN_INSTRUMENT_COUNTERS(LCN_INSTRUMENT_DRAIN)
+#undef LCN_INSTRUMENT_DRAIN
+  return s;
 }
+
+void reset() { (void)snapshot_and_reset(); }
 
 double Snapshot::cache_hit_rate() const {
   const std::uint64_t total = cache_hits + cache_misses;
@@ -203,12 +172,13 @@ std::string Snapshot::json() const {
       "\"assemblies\":%llu,\"assemblies_symbolic\":%llu,"
       "\"assemblies_refill\":%llu,\"workspace_reuses\":%llu,"
       "\"flow_plan_hits\":%llu,\"flow_plan_misses\":%llu,"
-      "\"steady_solves\":%llu,"
+      "\"steady_solves\":%llu,\"pressure_probes\":%llu,"
       "\"cache_hits\":%llu,\"cache_misses\":%llu,"
       "\"cache_hit_rate\":%.4f,"
       "\"assembly_seconds\":%.6f,\"solve_seconds\":%.6f,"
       "\"scenarios_evaluated\":%llu,\"scenarios_infeasible\":%llu,"
-      "\"recovery_searches\":%llu}",
+      "\"recovery_searches\":%llu,"
+      "\"trace_events_emitted\":%llu,\"trace_events_dropped\":%llu}",
       static_cast<unsigned long long>(spmv_count),
       static_cast<unsigned long long>(spmv_nnz),
       static_cast<unsigned long long>(cg_solves),
@@ -224,12 +194,15 @@ std::string Snapshot::json() const {
       static_cast<unsigned long long>(flow_plan_hits),
       static_cast<unsigned long long>(flow_plan_misses),
       static_cast<unsigned long long>(steady_solves),
+      static_cast<unsigned long long>(pressure_probes),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses), cache_hit_rate(),
       assembly_micros * 1e-6, solve_micros * 1e-6,
       static_cast<unsigned long long>(scenarios_evaluated),
       static_cast<unsigned long long>(scenarios_infeasible),
-      static_cast<unsigned long long>(recovery_searches));
+      static_cast<unsigned long long>(recovery_searches),
+      static_cast<unsigned long long>(trace_events_emitted),
+      static_cast<unsigned long long>(trace_events_dropped));
 }
 
 }  // namespace lcn::instrument

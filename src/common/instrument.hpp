@@ -31,6 +31,7 @@ struct Snapshot {
   std::uint64_t flow_plan_hits = 0;      ///< flow pattern served from cache
   std::uint64_t flow_plan_misses = 0;    ///< flow pattern analyzed fresh
   std::uint64_t steady_solves = 0;
+  std::uint64_t pressure_probes = 0;     ///< Algorithm-3 / golden-section probes
   std::uint64_t cache_hits = 0;          ///< SA evaluator cache
   std::uint64_t cache_misses = 0;
   std::uint64_t assembly_micros = 0;     ///< wall time in assemble()
@@ -38,6 +39,8 @@ struct Snapshot {
   std::uint64_t scenarios_evaluated = 0;   ///< reliability fault scenarios
   std::uint64_t scenarios_infeasible = 0;  ///< violated limits / unevaluable
   std::uint64_t recovery_searches = 0;     ///< degradation-planner searches
+  std::uint64_t trace_events_emitted = 0;  ///< events recorded into trace rings
+  std::uint64_t trace_events_dropped = 0;  ///< events lost to ring overflow
 
   double cache_hit_rate() const;
   std::string json() const;
@@ -54,15 +57,30 @@ void add_workspace_reuse();
 void add_flow_plan_hit();
 void add_flow_plan_miss();
 void add_steady_solve(double seconds);
+void add_pressure_probe();
 void add_cache_hit();
 void add_cache_miss();
 void add_scenario_evaluated();
 void add_scenario_infeasible();
 void add_recovery_search();
+void add_trace_event();
+void add_trace_drop();
 
 Snapshot snapshot();
-/// Difference of two snapshots (per-phase accounting in benches).
+/// Difference of two snapshots (per-phase accounting in benches). This is
+/// the preferred per-phase pattern — snapshot before, snapshot after, diff —
+/// because it needs no coordination with concurrent counter adds.
 Snapshot delta(const Snapshot& before, const Snapshot& after);
+
+/// Atomically drain every counter: each counter's value moves into the
+/// returned snapshot with a single exchange, so an add racing this call from
+/// a pool thread lands either in the returned snapshot or in the fresh epoch
+/// — never in both and never lost. This is the one race-clean way to
+/// "snapshot then reset"; a separate snapshot() followed by reset() would
+/// silently drop adds that land between the two calls.
+Snapshot snapshot_and_reset();
+
+/// snapshot_and_reset() discarding the drained values.
 void reset();
 
 }  // namespace lcn::instrument

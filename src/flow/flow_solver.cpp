@@ -1,6 +1,7 @@
 #include "flow/flow_solver.hpp"
 
 #include "common/assert.hpp"
+#include "common/trace.hpp"
 #include "flow/flow_plan.hpp"
 #include "sparse/solvers.hpp"
 
@@ -58,6 +59,7 @@ FlowSolver::FlowSolver(const CoolingNetwork& net,
 }
 
 FlowSolution FlowSolver::solve(double p_sys) const {
+  LCN_TRACE_SPAN_FINE("flow_solve");
   LCN_REQUIRE(p_sys > 0.0, "system pressure drop must be positive");
   const Grid2D& grid = net_.grid();
 

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "common/trace.hpp"
 
 namespace lcn {
 
@@ -37,6 +38,7 @@ ThermalProbe SystemEvaluator::probe(double p_sys) {
   const std::uint64_t key = bits::double_key(p_sys);
   const auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
+  LCN_TRACE_SPAN_FINE("thermal_probe");
   // Warm-start from the previous probe's field: successive pressures in the
   // searches are close, so the old temperatures are near the new solution.
   const AssembledThermal system = std::visit(

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/instrument.hpp"
+#include "common/trace.hpp"
 
 namespace lcn {
 
@@ -15,6 +17,7 @@ class CountingProbe {
 
   double operator()(double p) {
     ++count_;
+    instrument::add_pressure_probe();
     // Soft budget: Algorithm 3 terminates by interval width; the budget is a
     // backstop against pathological probes (e.g. noisy f).
     LCN_CHECK(count_ <= 4 * budget_, "pressure search probe budget exhausted");
@@ -34,6 +37,7 @@ class CountingProbe {
 PressureSearchResult minimize_pressure_for_target(
     const PressureProbe& raw_f, double target,
     const PressureSearchOptions& options) {
+  LCN_TRACE_SPAN_FINE("pressure_search");
   LCN_REQUIRE(options.p_min > 0.0 && options.p_min < options.p_max,
               "invalid pressure bounds");
   CountingProbe f(raw_f, options.max_probes);
@@ -150,6 +154,7 @@ PressureSearchResult minimize_pressure_for_target(
 PressureSearchResult minimize_pressure_monotone(
     const PressureProbe& raw_h, double target, double p_lo, double p_hi,
     const PressureSearchOptions& options) {
+  LCN_TRACE_SPAN_FINE("pressure_bisection");
   LCN_REQUIRE(p_lo > 0.0 && p_lo <= p_hi, "invalid bisection interval");
   CountingProbe h(raw_h, options.max_probes);
   PressureSearchResult out;
@@ -193,6 +198,7 @@ PressureSearchResult minimize_pressure_monotone(
 PressureSearchResult golden_section_min(const PressureProbe& raw_f,
                                         double p_lo, double p_hi,
                                         const PressureSearchOptions& options) {
+  LCN_TRACE_SPAN_FINE("golden_section");
   LCN_REQUIRE(p_lo > 0.0 && p_lo < p_hi, "invalid golden-section interval");
   CountingProbe f(raw_f, options.max_probes);
   constexpr double kInvPhi = 0.6180339887498949;

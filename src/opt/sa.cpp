@@ -5,11 +5,13 @@
 #include <limits>
 
 #include "common/env.hpp"
+#include "common/instrument.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "network/design_rules.hpp"
 
 namespace lcn {
@@ -168,6 +170,7 @@ TreeLayout TreeTopologyOptimizer::mutate(const TreeLayout& layout, int step,
 int TreeTopologyOptimizer::pick_direction(const TreeLayout& probe_layout,
                                           const SimConfig& sim,
                                           std::size_t* evaluations) const {
+  LCN_TRACE_SPAN("sa_direction_sweep");
   double best_score = kInf;
   int best_dir = 0;
   for (int dir = 0; dir < D4Transform::kCount; ++dir) {
@@ -186,6 +189,11 @@ int TreeTopologyOptimizer::pick_direction(const TreeLayout& probe_layout,
 
 DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
   LCN_REQUIRE(!stages.empty(), "need at least one SA stage");
+  trace::Span run_span("sa_run");
+  if (run_span.active()) {
+    run_span.set_args(strfmt("\"bench\":\"%s\",\"stages\":%zu",
+                             bench_.name.c_str(), stages.size()));
+  }
   WallTimer timer;
   DesignOutcome outcome;
   Rng rng(seed_);
@@ -244,6 +252,13 @@ DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
 
   for (std::size_t stage_idx = 0; stage_idx < stages.size(); ++stage_idx) {
     const SaStage& stage = stages[stage_idx];
+    trace::Span stage_span("sa_stage");
+    if (stage_span.active()) {
+      stage_span.set_args(strfmt(
+          "\"stage\":\"%s\",\"rounds\":%d,\"iterations\":%d,\"neighbors\":%d",
+          stage.name.c_str(), stage.rounds, stage.iterations,
+          stage.neighbors));
+    }
 
     // Stage-1-style cost needs a representative fixed pressure: take the
     // incumbent's optimal operating point (fallback: the search's P_init).
@@ -322,6 +337,7 @@ DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
     std::vector<RoundBest> round_bests;
 
     for (int round = 0; round < stage.rounds; ++round) {
+      LCN_TRACE_SPAN("sa_round");
       Rng round_rng = rng.fork();
       // Root of the per-neighbor streams: every (round, iteration, neighbor)
       // triple gets an independent rng derived below, so the trajectory is
@@ -345,9 +361,15 @@ DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
               ? std::pow(1e-2, 1.0 / (stage.iterations - 1))
               : 1.0;
 
+      int accepted_count = 0;
+
       for (int iter = 0; iter < stage.iterations; ++iter) {
         const bool leader =
             stage.group_size <= 1 || iter % stage.group_size == 0;
+        // Progress-stream bookkeeping: pressure probes consumed by this
+        // iteration alone. Counter reads happen only while tracing.
+        const std::uint64_t probes_before =
+            trace::enabled() ? instrument::snapshot().pressure_probes : 0;
 
         // Generate and score the neighbor pool concurrently (the paper
         // scores 64 neighbors at once on an 80-core server). Each neighbor
@@ -380,12 +402,38 @@ DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
           accept = round_rng.next_double() < std::exp(-delta / temperature);
         }
         if (accept) {
+          ++accepted_count;
           state = pool[best_k];
           state_score = candidate;
           if (leader && scores[best_k].feasible) {
             group_pressure = scores[best_k].p_sys;
           }
           if (state_score < best.score) best = {state, state_score};
+        }
+        if (trace::enabled()) {
+          // One record per SA iteration: where the anneal is (temperature,
+          // acceptance), what it sees (scores), and what it cost (cache hit
+          // rate so far, pressure probes this iteration).
+          const std::uint64_t hits = cache_.hits();
+          const std::uint64_t misses = cache_.misses();
+          const double lookups = static_cast<double>(hits + misses);
+          const double hit_rate =
+              lookups > 0.0 ? static_cast<double>(hits) / lookups : 0.0;
+          const std::uint64_t probes =
+              instrument::snapshot().pressure_probes - probes_before;
+          trace::emit_instant(
+              "sa_iter", trace::kCoarse,
+              strfmt("\"stage\":\"%s\",\"round\":%d,\"iter\":%d,"
+                     "\"temperature\":%.6g,\"current\":%.9g,"
+                     "\"candidate\":%.9g,\"best\":%.9g,\"accepted\":%s,"
+                     "\"accept_rate\":%.4f,\"cache_hit_rate\":%.4f,"
+                     "\"probes\":%llu",
+                     stage.name.c_str(), round, iter, temperature,
+                     state_score, candidate, best.score,
+                     accept ? "true" : "false",
+                     static_cast<double>(accepted_count) / (iter + 1),
+                     hit_rate, static_cast<unsigned long long>(probes))
+                  .c_str());
         }
         temperature *= alpha;
       }

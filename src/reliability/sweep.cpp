@@ -5,8 +5,10 @@
 #include <limits>
 
 #include "common/instrument.hpp"
+#include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 
 namespace lcn {
 
@@ -92,6 +94,12 @@ SweepReport run_sweep(const CoolingProblem& problem,
                       const SweepOptions& options) {
   LCN_REQUIRE(options.scenarios >= 0, "scenario count must be non-negative");
   LCN_REQUIRE(p_nominal > 0.0, "nominal pressure must be positive");
+  trace::Span sweep_span("reliability_sweep");
+  if (sweep_span.active()) {
+    sweep_span.set_args(strfmt("\"scenarios\":%d,\"seed\":%llu",
+                               options.scenarios,
+                               static_cast<unsigned long long>(options.seed)));
+  }
   WallTimer timer;
 
   SweepReport report;
@@ -113,6 +121,7 @@ SweepReport run_sweep(const CoolingProblem& problem,
   // statistic reduced from it below in index order — is bit-identical at any
   // thread count.
   global_pool().parallel_for(n, [&](std::size_t k) {
+    LCN_TRACE_SPAN_FINE("fault_scenario");
     Rng rng = scenario_rng(options.seed, k);
     const FaultScenario scenario =
         sample_scenario(options.distribution, problem.grid, source_layers,

@@ -4,14 +4,37 @@
 
 #include "common/assert.hpp"
 #include "common/instrument.hpp"
+#include "common/strings.hpp"
+#include "common/trace.hpp"
 
 namespace lcn::sparse {
 
 namespace {
+// Counter + fine-level span on every exit path; the span member is first so
+// its end event fires after the dtor body attaches the outcome args.
 struct IterationRecorder {
+  trace::Span span{"gmres_solve", trace::kFine};
   const SolveReport& report;
-  ~IterationRecorder() { instrument::add_gmres(report.iterations); }
+  ~IterationRecorder() {
+    instrument::add_gmres(report.iterations);
+    if (span.active()) {
+      span.set_args(strfmt("\"iters\":%zu,\"rel\":%.3e,\"converged\":%s",
+                           report.iterations, report.relative_residual,
+                           report.converged ? "true" : "false"));
+    }
+  }
 };
+
+// The final residual_history entry always equals the reported residual; the
+// per-iteration entries are the Givens-implied estimates, so the true
+// residual computed at restart boundaries is appended when it differs.
+void finish_history(SolveReport& report, bool recording) {
+  if (!recording) return;
+  if (report.residual_history.empty() ||
+      report.residual_history.back() != report.relative_residual) {
+    report.residual_history.push_back(report.relative_residual);
+  }
+}
 
 // The one GMRES implementation; all scratch lives in the workspace. Every
 // vector is re-initialised to exactly the state the historical allocating
@@ -27,11 +50,13 @@ SolveReport gmres_impl(const CsrMatrix& a, const Vector& b, Vector& x,
   x.resize(n, 0.0);
 
   SolveReport report;
-  const IterationRecorder recorder{report};
+  const IterationRecorder recorder{.report = report};
+  const bool recording = options.record_residuals;
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     report.converged = true;
+    finish_history(report, recording);
     return report;
   }
 
@@ -67,6 +92,7 @@ SolveReport gmres_impl(const CsrMatrix& a, const Vector& b, Vector& x,
     if (report.relative_residual < options.rel_tolerance) {
       report.converged = true;
       report.iterations = total_iters;
+      finish_history(report, recording);
       return report;
     }
 
@@ -111,6 +137,9 @@ SolveReport gmres_impl(const CsrMatrix& a, const Vector& b, Vector& x,
       g[k + 1] = -sn[k] * g[k];
       g[k] = cs[k] * g[k];
 
+      if (recording) {
+        report.residual_history.push_back(std::abs(g[k + 1]) / bnorm);
+      }
       if (std::abs(g[k + 1]) / bnorm < options.rel_tolerance) {
         ++k;
         break;
@@ -139,6 +168,7 @@ SolveReport gmres_impl(const CsrMatrix& a, const Vector& b, Vector& x,
   report.relative_residual = norm2(r) / bnorm;
   report.converged = report.relative_residual < options.rel_tolerance;
   report.iterations = total_iters;
+  finish_history(report, recording);
   return report;
 }
 }  // namespace

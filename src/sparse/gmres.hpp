@@ -15,6 +15,9 @@ struct GmresOptions {
   double rel_tolerance = 1e-10;
   std::size_t restart = 40;        ///< Krylov subspace dimension m
   std::size_t max_outer = 0;       ///< 0 => ceil(10·n / restart) + 4
+  /// Capture per-iteration residual estimates into
+  /// SolveReport::residual_history (see SolveOptions::record_residuals).
+  bool record_residuals = false;
 };
 
 /// Solve A x = b with restarted, right-preconditioned GMRES.

@@ -5,6 +5,8 @@
 #include "common/assert.hpp"
 #include "common/instrument.hpp"
 #include "common/log.hpp"
+#include "common/strings.hpp"
+#include "common/trace.hpp"
 #include "sparse/gmres.hpp"
 #include "sparse/ic0.hpp"
 
@@ -24,15 +26,40 @@ GmresOptions gmres_options(const SolveOptions& opts) {
   gmres.rel_tolerance = opts.rel_tolerance;
   gmres.restart = opts.gmres_restart;
   gmres.max_outer = opts.gmres_max_outer;
+  gmres.record_residuals = opts.record_residuals;
   return gmres;
 }
 
-// Records the final iteration count on every exit path of a solver.
+// Records the final iteration count on every exit path of a solver, plus a
+// fine-level trace span carrying the outcome. The span member is declared
+// first so its end event is emitted after ~IterationRecorder has attached
+// the args (members destroy in reverse order).
 struct IterationRecorder {
+  trace::Span span;
   const SolveReport& report;
   void (*record)(std::uint64_t);
-  ~IterationRecorder() { record(report.iterations); }
+  IterationRecorder(const char* name, const SolveReport& r,
+                    void (*rec)(std::uint64_t))
+      : span(name, trace::kFine), report(r), record(rec) {}
+  ~IterationRecorder() {
+    record(report.iterations);
+    if (span.active()) {
+      span.set_args(strfmt("\"iters\":%zu,\"rel\":%.3e,\"converged\":%s",
+                           report.iterations, report.relative_residual,
+                           report.converged ? "true" : "false"));
+    }
+  }
 };
+
+// Keeps SolveReport::residual_history's final entry equal to the reported
+// relative residual on every exit path (the contract sparse_test asserts).
+void finish_history(SolveReport& report, bool recording) {
+  if (!recording) return;
+  if (report.residual_history.empty() ||
+      report.residual_history.back() != report.relative_residual) {
+    report.residual_history.push_back(report.relative_residual);
+  }
+}
 
 // The one CG implementation; scratch lives in the workspace and every vector
 // read is re-initialised first, so a fresh and a reused workspace produce
@@ -47,10 +74,12 @@ SolveReport cg_impl(const CsrMatrix& a, const Vector& b, Vector& x,
 
   const double bnorm = norm2(b);
   SolveReport report;
-  const IterationRecorder recorder{report, &instrument::add_cg};
+  const IterationRecorder recorder("cg_solve", report, &instrument::add_cg);
+  const bool recording = opts.record_residuals;
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     report.converged = true;
+    finish_history(report, recording);
     return report;
   }
 
@@ -73,6 +102,7 @@ SolveReport cg_impl(const CsrMatrix& a, const Vector& b, Vector& x,
       // Not SPD (or numerically degenerate) — bail out with best effort.
       report.iterations = it;
       report.relative_residual = norm2(r) / bnorm;
+      finish_history(report, recording);
       return report;
     }
     const double alpha = rz / pap;
@@ -80,6 +110,7 @@ SolveReport cg_impl(const CsrMatrix& a, const Vector& b, Vector& x,
     axpy(-alpha, ap, r);
 
     const double rel = norm2(r) / bnorm;
+    if (recording) report.residual_history.push_back(rel);
     if (rel < opts.rel_tolerance) {
       report.converged = true;
       report.iterations = it + 1;
@@ -96,6 +127,7 @@ SolveReport cg_impl(const CsrMatrix& a, const Vector& b, Vector& x,
 
   report.iterations = max_iters;
   report.relative_residual = norm2(r) / bnorm;
+  finish_history(report, recording);
   return report;
 }
 
@@ -109,10 +141,13 @@ SolveReport bicgstab_impl(const CsrMatrix& a, const Vector& b, Vector& x,
 
   const double bnorm = norm2(b);
   SolveReport report;
-  const IterationRecorder recorder{report, &instrument::add_bicgstab};
+  const IterationRecorder recorder("bicgstab_solve", report,
+                                   &instrument::add_bicgstab);
+  const bool recording = opts.record_residuals;
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
     report.converged = true;
+    finish_history(report, recording);
     return report;
   }
 
@@ -163,6 +198,7 @@ SolveReport bicgstab_impl(const CsrMatrix& a, const Vector& b, Vector& x,
       report.converged = true;
       report.iterations = it + 1;
       report.relative_residual = norm2(s) / bnorm;
+      finish_history(report, recording);
       return report;
     }
 
@@ -178,6 +214,7 @@ SolveReport bicgstab_impl(const CsrMatrix& a, const Vector& b, Vector& x,
     axpy(-omega, t, r);
 
     const double rel = norm2(r) / bnorm;
+    if (recording) report.residual_history.push_back(rel);
     if (rel < opts.rel_tolerance) {
       report.converged = true;
       report.iterations = it + 1;
@@ -194,6 +231,7 @@ SolveReport bicgstab_impl(const CsrMatrix& a, const Vector& b, Vector& x,
   report.iterations = max_iters;
   report.relative_residual = norm2(final_r) / bnorm;
   report.converged = report.relative_residual < opts.rel_tolerance;
+  finish_history(report, recording);
   return report;
 }
 

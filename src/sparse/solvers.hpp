@@ -32,12 +32,24 @@ struct SolveOptions {
   GeneralMethod method = GeneralMethod::kAuto;
   std::size_t gmres_restart = 40;   ///< Krylov dimension when GMRES runs
   std::size_t gmres_max_outer = 0;  ///< 0 => ceil(10·n / restart) + 4
+  /// Opt-in convergence telemetry (DESIGN.md §S19): capture the
+  /// per-iteration relative residual into SolveReport::residual_history so
+  /// stalls and preconditioner regressions are visible, not just iteration
+  /// totals. Off by default — recording allocates and is not needed on the
+  /// hot path. Never changes the iterates.
+  bool record_residuals = false;
 };
 
 struct SolveReport {
   bool converged = false;
   std::size_t iterations = 0;
   double relative_residual = 0.0;
+  /// Per-iteration relative residuals, populated only when
+  /// SolveOptions::record_residuals is set. The final entry always equals
+  /// `relative_residual` (for GMRES the per-iteration entries are the
+  /// Givens-implied estimates and a final true-residual entry is appended
+  /// when it differs).
+  std::vector<double> residual_history;
 };
 
 /// Persistent Krylov scratch. A default-constructed workspace works for any

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/instrument.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "sparse/solvers.hpp"
 
 namespace lcn {
@@ -52,6 +53,7 @@ double advected_heat(const AssembledThermal& system,
 ThermalField solve_steady(const AssembledThermal& system, double rel_tolerance,
                           const std::vector<double>* initial_guess,
                           SteadyWorkspace* workspace) {
+  LCN_TRACE_SPAN_FINE("solve_steady");
   std::vector<double> temps;
   if (initial_guess != nullptr &&
       initial_guess->size() == system.matrix.rows()) {

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "flow/flow_solver.hpp"
 
 namespace lcn {
@@ -207,6 +208,7 @@ double Thermal2RM::pumping_power(double p_sys) const {
 }
 
 AssembledThermal Thermal2RM::assemble(double p_sys) const {
+  LCN_TRACE_SPAN_FINE("assemble_2rm");
   return plan().assemble(p_sys);
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace lcn {
 
@@ -61,6 +62,7 @@ double Thermal4RM::pumping_power(double p_sys) const {
 }
 
 AssembledThermal Thermal4RM::assemble(double p_sys) const {
+  LCN_TRACE_SPAN_FINE("assemble_4rm");
   return plan().assemble(p_sys);
 }
 

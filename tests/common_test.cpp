@@ -5,10 +5,12 @@
 #include <atomic>
 #include <cstdlib>
 #include <set>
+#include <thread>
 
 #include "common/assert.hpp"
 #include "common/csv.hpp"
 #include "common/env.hpp"
+#include "common/instrument.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -148,6 +150,30 @@ TEST(ThreadPool, ZeroAndSingleCounts) {
   int calls = 0;
   pool.parallel_for(1, [&](std::size_t) { ++calls; });
   EXPECT_EQ(calls, 1);
+}
+
+TEST(Instrument, SnapshotAndResetDrainsEveryCountExactlyOnce) {
+  // Race-clean accounting: adds racing snapshot_and_reset() must land either
+  // in a drained snapshot or in the final residue — never both, never lost.
+  instrument::reset();  // clear residue from earlier tests
+  constexpr int kAdds = 200000;
+  std::thread writer([] {
+    for (int i = 0; i < kAdds; ++i) instrument::add_cache_hit();
+  });
+  std::uint64_t drained = 0;
+  for (int i = 0; i < 1000; ++i) {
+    drained += instrument::snapshot_and_reset().cache_hits;
+  }
+  writer.join();
+  drained += instrument::snapshot_and_reset().cache_hits;
+  EXPECT_EQ(drained, static_cast<std::uint64_t>(kAdds));
+}
+
+TEST(Instrument, JsonIncludesTraceAndProbeCounters) {
+  const std::string json = instrument::snapshot().json();
+  EXPECT_NE(json.find("\"pressure_probes\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_events_emitted\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_events_dropped\""), std::string::npos);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include "common/rng.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
+#include "sparse/gmres.hpp"
 #include "sparse/preconditioner.hpp"
 #include "sparse/solvers.hpp"
 
@@ -243,6 +244,91 @@ TEST_P(SolverAgreement, SpdCgMatchesDense) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreement,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Convergence telemetry (§S19): the recorded residual history must end at
+// exactly the report's relative residual on every solver, and recording must
+// be strictly opt-in.
+TEST(ResidualHistory, CgFinalEntryMatchesReport) {
+  Rng rng(11);
+  const CsrMatrix a = random_spd(120, rng);
+  Vector b(120);
+  for (auto& v : b) v = rng.next_real(-1.0, 1.0);
+  const JacobiPreconditioner m(a);
+
+  Vector x;
+  SolveOptions opts;
+  opts.record_residuals = true;
+  const SolveReport report = cg_solve(a, b, x, m, opts);
+  ASSERT_TRUE(report.converged);
+  ASSERT_FALSE(report.residual_history.empty());
+  EXPECT_EQ(report.residual_history.back(), report.relative_residual);
+  EXPECT_EQ(report.residual_history.size(), report.iterations);
+
+  Vector y;
+  const SolveReport quiet = cg_solve(a, b, y, m);
+  EXPECT_TRUE(quiet.residual_history.empty());
+  EXPECT_EQ(y, x);  // telemetry never perturbs the iterates
+}
+
+TEST(ResidualHistory, BicgstabFinalEntryMatchesReport) {
+  Rng rng(12);
+  const CsrMatrix a = random_nonsymmetric(150, rng, 0.8);
+  Vector b(150);
+  for (auto& v : b) v = rng.next_real(-1.0, 1.0);
+  const Ilu0Preconditioner m(a);
+
+  Vector x;
+  SolveOptions opts;
+  opts.record_residuals = true;
+  const SolveReport report = bicgstab_solve(a, b, x, m, opts);
+  ASSERT_TRUE(report.converged);
+  ASSERT_FALSE(report.residual_history.empty());
+  EXPECT_EQ(report.residual_history.back(), report.relative_residual);
+
+  Vector y;
+  const SolveReport quiet = bicgstab_solve(a, b, y, m);
+  EXPECT_TRUE(quiet.residual_history.empty());
+  EXPECT_EQ(y, x);
+}
+
+TEST(ResidualHistory, GmresFinalEntryMatchesReport) {
+  Rng rng(13);
+  const CsrMatrix a = random_nonsymmetric(150, rng, 0.8);
+  Vector b(150);
+  for (auto& v : b) v = rng.next_real(-1.0, 1.0);
+  const Ilu0Preconditioner m(a);
+
+  Vector x;
+  GmresOptions opts;
+  opts.record_residuals = true;
+  const SolveReport report = gmres_solve(a, b, x, m, opts);
+  ASSERT_TRUE(report.converged);
+  ASSERT_FALSE(report.residual_history.empty());
+  // GMRES per-iteration entries are Givens-implied estimates; the contract
+  // still pins the final entry to the reported (true) relative residual.
+  EXPECT_EQ(report.residual_history.back(), report.relative_residual);
+
+  Vector y;
+  const SolveReport quiet = gmres_solve(a, b, y, m);
+  EXPECT_TRUE(quiet.residual_history.empty());
+  EXPECT_EQ(y, x);
+}
+
+TEST(ResidualHistory, RecordedOnNonConvergence) {
+  Rng rng(14);
+  const CsrMatrix a = random_spd(200, rng);
+  Vector b(200);
+  for (auto& v : b) v = rng.next_real(-1.0, 1.0);
+  const JacobiPreconditioner m(a);
+  Vector x;
+  SolveOptions opts;
+  opts.record_residuals = true;
+  opts.max_iterations = 3;  // force the max-iters exit path
+  const SolveReport report = cg_solve(a, b, x, m, opts);
+  ASSERT_FALSE(report.converged);
+  ASSERT_FALSE(report.residual_history.empty());
+  EXPECT_EQ(report.residual_history.back(), report.relative_residual);
+}
 
 }  // namespace
 }  // namespace lcn::sparse

@@ -1,0 +1,234 @@
+// Tests for the structured tracing subsystem (DESIGN.md §S19): the disabled
+// path emits nothing at any pool width, enabled spans round-trip through the
+// JSONL sink with correct begin/end pairing and per-thread monotonic
+// timestamps, and ring overflow is accounted — never silently lost.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/instrument.hpp"
+#include "common/manifest.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+
+namespace lcn {
+namespace {
+
+std::string temp_trace_path(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path();
+  return (dir / (std::string("lcn_trace_test_") + tag + ".jsonl")).string();
+}
+
+/// Minimal JSONL field extraction for the trace's fixed emission format
+/// (write_event in trace.cpp): no nested quoting outside "args".
+std::string extract_string(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  return line.substr(start, end - start);
+}
+
+std::uint64_t extract_u64(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in: " << line;
+  if (pos == std::string::npos) return 0;
+  return std::stoull(line.substr(pos + needle.size()));
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    trace::stop();  // idempotent; never leak an active sink between tests
+    set_global_pool_threads(0);
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(path_, ec);
+    }
+  }
+  std::string path_;
+};
+
+TEST_F(TraceTest, DisabledPathEmitsNothingAtAnyPoolWidth) {
+  ASSERT_FALSE(trace::active());
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    set_global_pool_threads(threads);
+    const instrument::Snapshot before = instrument::snapshot();
+    {
+      LCN_TRACE_SPAN("outer");
+      LCN_TRACE_SPAN_FINE("outer_fine");
+      global_pool().parallel_for(64, [](std::size_t) {
+        LCN_TRACE_SPAN("worker");
+        trace::emit_instant("tick", trace::kCoarse, "\"x\":1");
+        trace::emit_counter("gauge", trace::kFine, 3.5);
+      });
+    }
+    const instrument::Snapshot d =
+        instrument::delta(before, instrument::snapshot());
+    EXPECT_EQ(d.trace_events_emitted, 0u) << "threads=" << threads;
+    EXPECT_EQ(d.trace_events_dropped, 0u) << "threads=" << threads;
+  }
+}
+
+TEST_F(TraceTest, SpanNestingRoundTripsThroughJsonlSink) {
+  path_ = temp_trace_path("roundtrip");
+  set_global_pool_threads(4);
+
+  trace::TraceConfig config;
+  config.path = path_;
+  config.level = trace::kFine;
+  config.background_flush = false;  // deterministic: drain only at stop()
+  const instrument::Snapshot before = instrument::snapshot();
+  trace::start(config);
+  ASSERT_TRUE(trace::active());
+  {
+    LCN_TRACE_SPAN("outer");
+    {
+      LCN_TRACE_SPAN_FINE("inner");
+      trace::emit_instant("marker", trace::kCoarse, "\"k\":42");
+    }
+    global_pool().parallel_for(16, [](std::size_t) {
+      LCN_TRACE_SPAN("worker");
+      LCN_TRACE_SPAN_FINE("worker_inner");
+    });
+    trace::Span with_args("tail");
+    with_args.set_args("\"n\":7");
+  }
+  trace::stop();
+  ASSERT_FALSE(trace::active());
+  const instrument::Snapshot d =
+      instrument::delta(before, instrument::snapshot());
+  EXPECT_EQ(d.trace_events_dropped, 0u);
+
+  const std::vector<std::string> lines = read_lines(path_);
+  ASSERT_GE(lines.size(), 2u);
+
+  // Header: the manifest line stamps the trace with build provenance.
+  EXPECT_EQ(extract_string(lines[0], "ph"), "M");
+  EXPECT_EQ(extract_string(lines[0], "name"), "manifest");
+  EXPECT_NE(lines[0].find("\"git_sha\""), std::string::npos);
+
+  // Every event line must parse; B/E must pair up as a stack per tid and
+  // timestamps must be monotone non-decreasing per tid (ring FIFO order).
+  std::map<std::uint64_t, std::vector<std::string>> stacks;
+  std::map<std::uint64_t, std::uint64_t> last_ts;
+  std::size_t events = 0;
+  bool saw_marker = false;
+  bool saw_tail_args = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::string ph = extract_string(line, "ph");
+    const std::string name = extract_string(line, "name");
+    ASSERT_FALSE(ph.empty()) << line;
+    ASSERT_FALSE(name.empty()) << line;
+    const std::uint64_t tid = extract_u64(line, "tid");
+    const std::uint64_t ts = extract_u64(line, "ts_ns");
+    ++events;
+    auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "non-monotonic ts on tid " << tid;
+    }
+    last_ts[tid] = ts;
+    if (ph == "B") {
+      stacks[tid].push_back(name);
+    } else if (ph == "E") {
+      ASSERT_FALSE(stacks[tid].empty()) << "E without B: " << line;
+      EXPECT_EQ(stacks[tid].back(), name) << "mismatched nesting: " << line;
+      stacks[tid].pop_back();
+      if (name == "tail") {
+        saw_tail_args = line.find("\"args\":{\"n\":7}") != std::string::npos;
+      }
+    } else if (ph == "i" && name == "marker") {
+      saw_marker = line.find("\"k\":42") != std::string::npos;
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span(s) on tid " << tid;
+  }
+  EXPECT_TRUE(saw_marker);
+  EXPECT_TRUE(saw_tail_args);
+  // 3 main-thread spans (B+E) + marker + 16 worker span pairs * 2 levels.
+  EXPECT_EQ(events, d.trace_events_emitted);
+  EXPECT_EQ(events, 3u * 2u + 1u + 16u * 2u * 2u);
+}
+
+TEST_F(TraceTest, RingOverflowIsCountedNotLost) {
+  path_ = temp_trace_path("overflow");
+  trace::TraceConfig config;
+  config.path = path_;
+  config.level = trace::kCoarse;
+  config.ring_capacity = 8;
+  config.background_flush = false;  // nothing drains while we overflow
+  const instrument::Snapshot before = instrument::snapshot();
+  trace::start(config);
+  for (int i = 0; i < 30; ++i) {
+    trace::emit_instant("burst", trace::kCoarse);
+  }
+  const instrument::Snapshot d =
+      instrument::delta(before, instrument::snapshot());
+  EXPECT_EQ(d.trace_events_emitted, 8u);
+  EXPECT_EQ(d.trace_events_dropped, 22u);
+  trace::stop();
+
+  // The sink holds the manifest plus exactly the events that fit the ring.
+  const std::vector<std::string> lines = read_lines(path_);
+  ASSERT_EQ(lines.size(), 9u);
+  EXPECT_EQ(extract_string(lines[0], "ph"), "M");
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(extract_string(lines[i], "name"), "burst");
+  }
+}
+
+TEST_F(TraceTest, FlushDrainsMidSessionAndRestartReusesThreads) {
+  path_ = temp_trace_path("restart");
+  trace::TraceConfig config;
+  config.path = path_;
+  config.background_flush = false;
+  trace::start(config);
+  trace::emit_instant("first", trace::kCoarse);
+  trace::flush();
+  EXPECT_EQ(read_lines(path_).size(), 2u);  // manifest + first
+  trace::stop();
+
+  // Restarting must re-register this thread's ring (fresh session), not
+  // write through a stale pointer into freed memory.
+  trace::start(config);
+  trace::emit_instant("second", trace::kCoarse);
+  trace::stop();
+  const std::vector<std::string> lines = read_lines(path_);
+  ASSERT_EQ(lines.size(), 2u);  // "w" mode truncates: manifest + second
+  EXPECT_EQ(extract_string(lines[1], "name"), "second");
+}
+
+TEST(Manifest, ProvidesBuildProvenance) {
+  const RunManifest& m = run_manifest();
+  EXPECT_FALSE(m.git_sha.empty());  // real SHA or the "unknown" backfill
+  EXPECT_FALSE(m.compiler.empty());
+  EXPECT_GT(m.hardware_threads, 0);
+  const std::string json = m.json();
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\""), std::string::npos);
+  EXPECT_NE(json.find("\"lcn_threads\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcn
