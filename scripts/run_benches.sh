@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Run every bench binary in smoke mode (LCN_FAST=1) and collect the side
 # outputs — per-bench CSVs and the machine-readable perf records
-# (BENCH_parallel.json, BENCH_reliability.json, BENCH_assembly.json) —
-# into ./bench_results/. bench_assembly additionally self-checks that plan
-# refills stay bit-identical to fresh assemblies and that refill probe
-# throughput is at least 2x fresh (it exits nonzero otherwise).
+# (BENCH_parallel.json, BENCH_reliability.json, BENCH_assembly.json,
+# BENCH_multigrid.json) — into ./bench_results/. Two benches self-check and
+# exit nonzero on a regression: bench_assembly (plan refills bit-identical
+# to fresh assemblies, >= 2x refill probe throughput) and bench_multigrid
+# (multigrid keeps >= 3x fewer Krylov iterations than ILU(0)).
 #
 # Usage: scripts/run_benches.sh [build-dir]
 #   build-dir   defaults to ./build (must already be built)

@@ -37,7 +37,11 @@ namespace {
   X(scenarios_infeasible)          \
   X(recovery_searches)             \
   X(trace_events_emitted)          \
-  X(trace_events_dropped)
+  X(trace_events_dropped)          \
+  X(mg_vcycles)                    \
+  X(mg_coarse_solves)              \
+  X(fp32_inner_iters)              \
+  X(refinement_steps)
 
 struct Counters {
 #define LCN_INSTRUMENT_FIELD(name) std::atomic<std::uint64_t> name{0};
@@ -130,6 +134,17 @@ void add_trace_drop() {
   counters().trace_events_dropped.fetch_add(1, kRelaxed);
 }
 
+void add_mg_vcycle() { counters().mg_vcycles.fetch_add(1, kRelaxed); }
+void add_mg_coarse_solve() {
+  counters().mg_coarse_solves.fetch_add(1, kRelaxed);
+}
+void add_fp32_inner(std::uint64_t iterations) {
+  counters().fp32_inner_iters.fetch_add(iterations, kRelaxed);
+}
+void add_refinement_step() {
+  counters().refinement_steps.fetch_add(1, kRelaxed);
+}
+
 Snapshot snapshot() {
   const Counters& c = counters();
   Snapshot s;
@@ -178,7 +193,9 @@ std::string Snapshot::json() const {
       "\"assembly_seconds\":%.6f,\"solve_seconds\":%.6f,"
       "\"scenarios_evaluated\":%llu,\"scenarios_infeasible\":%llu,"
       "\"recovery_searches\":%llu,"
-      "\"trace_events_emitted\":%llu,\"trace_events_dropped\":%llu}",
+      "\"trace_events_emitted\":%llu,\"trace_events_dropped\":%llu,"
+      "\"mg_vcycles\":%llu,\"mg_coarse_solves\":%llu,"
+      "\"fp32_inner_iters\":%llu,\"refinement_steps\":%llu}",
       static_cast<unsigned long long>(spmv_count),
       static_cast<unsigned long long>(spmv_nnz),
       static_cast<unsigned long long>(cg_solves),
@@ -202,7 +219,11 @@ std::string Snapshot::json() const {
       static_cast<unsigned long long>(scenarios_infeasible),
       static_cast<unsigned long long>(recovery_searches),
       static_cast<unsigned long long>(trace_events_emitted),
-      static_cast<unsigned long long>(trace_events_dropped));
+      static_cast<unsigned long long>(trace_events_dropped),
+      static_cast<unsigned long long>(mg_vcycles),
+      static_cast<unsigned long long>(mg_coarse_solves),
+      static_cast<unsigned long long>(fp32_inner_iters),
+      static_cast<unsigned long long>(refinement_steps));
 }
 
 }  // namespace lcn::instrument

@@ -41,6 +41,10 @@ struct Snapshot {
   std::uint64_t recovery_searches = 0;     ///< degradation-planner searches
   std::uint64_t trace_events_emitted = 0;  ///< events recorded into trace rings
   std::uint64_t trace_events_dropped = 0;  ///< events lost to ring overflow
+  std::uint64_t mg_vcycles = 0;            ///< multigrid V-cycle applications
+  std::uint64_t mg_coarse_solves = 0;      ///< dense coarse-level solves
+  std::uint64_t fp32_inner_iters = 0;      ///< fp32 inner Krylov iterations
+  std::uint64_t refinement_steps = 0;      ///< fp64 iterative-refinement steps
 
   double cache_hit_rate() const;
   std::string json() const;
@@ -65,6 +69,10 @@ void add_scenario_infeasible();
 void add_recovery_search();
 void add_trace_event();
 void add_trace_drop();
+void add_mg_vcycle();
+void add_mg_coarse_solve();
+void add_fp32_inner(std::uint64_t iterations);
+void add_refinement_step();
 
 Snapshot snapshot();
 /// Difference of two snapshots (per-phase accounting in benches). This is

@@ -1,0 +1,191 @@
+// Mixed-precision solve (DESIGN.md §S20): fp64 iterative refinement wrapped
+// around fp32 BiCGSTAB inner solves.
+//
+// Each refinement step solves A d ≈ r / ||r|| in fp32 (SELL-C-σ operator,
+// fp32 preconditioner path, dot products accumulated in double) and applies
+// the correction x += ||r|| · d in fp64. Scaling the residual to unit norm
+// before the downcast keeps the fp32 values mid-range no matter how far the
+// outer residual has already dropped — the standard trick that lets fp32
+// inner solves drive an fp64 residual to 1e-10 and beyond. Convergence is
+// judged on the true fp64 residual only, so a converged report is exact; a
+// stalled refinement returns unconverged and the caller's cascade falls back
+// to fp64, which is what guarantees the same-tolerance contract.
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/instrument.hpp"
+#include "common/trace.hpp"
+#include "sparse/solvers.hpp"
+
+namespace lcn::sparse {
+
+namespace {
+
+std::size_t mixed_max_iters(const SolveOptions& opts, std::size_t n) {
+  return opts.max_iterations != 0 ? opts.max_iterations : 10 * n + 100;
+}
+
+/// fp32 BiCGSTAB on the workspace's SELL system: solves a32 · x ≈ rhs from a
+/// zero guess to `rel_tolerance` on ||r||/||rhs||, double-accumulated dots.
+/// Returns the iteration count; convergence is the caller's to judge from
+/// the fp64 residual it recomputes anyway.
+std::size_t inner_bicgstab_f32(const SellMatrixF& a32, const VectorF& rhs,
+                               VectorF& x, const Preconditioner& m,
+                               SolverWorkspace& ws, double rel_tolerance,
+                               std::size_t max_iters) {
+  const std::size_t n = a32.rows();
+  x.assign(n, 0.0f);
+  const double bnorm = norm2_f32(rhs);
+  if (bnorm == 0.0) return 0;
+
+  VectorF& r = ws.rf;
+  r = rhs;  // zero guess: r = rhs
+  VectorF& r0 = ws.r0f;
+  r0 = r;
+  ws.pf.assign(n, 0.0f);
+  ws.vf.assign(n, 0.0f);
+  VectorF& p = ws.pf;
+  VectorF& v = ws.vf;
+  VectorF& phat = ws.phatf;
+  VectorF& shat = ws.shatf;
+  VectorF& s = ws.sf;
+  VectorF& t = ws.tf;
+
+  double rho = 1.0;
+  double alpha = 1.0;
+  double omega = 1.0;
+
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    const double rho_next = dot_f32(r0, r);
+    if (std::abs(rho_next) < 1e-40) return it;  // breakdown
+    if (it == 0) {
+      p = r;
+    } else {
+      const float beta = static_cast<float>((rho_next / rho) * (alpha / omega));
+      const float w = static_cast<float>(omega);
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = r[i] + beta * (p[i] - w * v[i]);
+      }
+    }
+    rho = rho_next;
+
+    m.apply_f32(p, phat);
+    a32.multiply(phat, v);
+    const double r0v = dot_f32(r0, v);
+    if (std::abs(r0v) < 1e-40) return it;
+    alpha = rho / r0v;
+
+    s = r;
+    axpy_f32(static_cast<float>(-alpha), v, s);
+    if (norm2_f32(s) / bnorm < rel_tolerance) {
+      axpy_f32(static_cast<float>(alpha), phat, x);
+      return it + 1;
+    }
+
+    m.apply_f32(s, shat);
+    a32.multiply(shat, t);
+    const double tt = dot_f32(t, t);
+    if (tt < 1e-40) return it;
+    omega = dot_f32(t, s) / tt;
+
+    axpy_f32(static_cast<float>(alpha), phat, x);
+    axpy_f32(static_cast<float>(omega), shat, x);
+    r = s;
+    axpy_f32(static_cast<float>(-omega), t, r);
+
+    if (norm2_f32(r) / bnorm < rel_tolerance) return it + 1;
+    if (std::abs(omega) < 1e-40) return it + 1;
+  }
+  return max_iters;
+}
+
+// residual_history contract helper (same rule as solvers.cpp).
+void finish_history(SolveReport& report, bool recording) {
+  if (!recording) return;
+  if (report.residual_history.empty() ||
+      report.residual_history.back() != report.relative_residual) {
+    report.residual_history.push_back(report.relative_residual);
+  }
+}
+
+}  // namespace
+
+SolveReport mixed_refined_solve(const CsrMatrix& a, const Vector& b, Vector& x,
+                                const Preconditioner& m, SolverWorkspace& ws,
+                                const SolveOptions& opts) {
+  const std::size_t n = a.rows();
+  LCN_REQUIRE(a.cols() == n, "mixed solve needs a square matrix");
+  LCN_REQUIRE(b.size() == n, "mixed solve rhs size mismatch");
+  LCN_TRACE_SPAN("mixed_refined_solve");
+  x.resize(n, 0.0);
+
+  SolveReport report;
+  const bool recording = opts.record_residuals;
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    x.assign(n, 0.0);
+    report.converged = true;
+    finish_history(report, recording);
+    return report;
+  }
+
+  ws.a32.refill(a);  // fast path when `a` kept its symbolic structure
+
+  // True fp64 residual of the current iterate.
+  Vector& resid = ws.resid;
+  a.multiply(x, ws.ax);
+  resid = b;
+  axpy(-1.0, ws.ax, resid);
+
+  const std::size_t max_inner = mixed_max_iters(opts, n);
+  double rel = norm2(resid) / bnorm;
+  int stalls = 0;
+  for (std::size_t step = 0; step < opts.mixed_max_refinements; ++step) {
+    if (recording) report.residual_history.push_back(rel);
+    if (rel < opts.rel_tolerance) {
+      report.converged = true;
+      break;
+    }
+
+    // Scale the residual to unit norm and downcast.
+    const double rnorm = norm2(resid);
+    ws.xf.assign(n, 0.0f);
+    VectorF& rhs32 = ws.axf;  // ax scratch is free between residual updates
+    rhs32.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rhs32[i] = static_cast<float>(resid[i] / rnorm);
+    }
+
+    const std::size_t inner = inner_bicgstab_f32(
+        ws.a32, rhs32, ws.xf, m, ws, opts.mixed_inner_tolerance, max_inner);
+    instrument::add_fp32_inner(inner);
+    instrument::add_refinement_step();
+    report.iterations += inner;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += rnorm * static_cast<double>(ws.xf[i]);
+    }
+    a.multiply(x, ws.ax);
+    resid = b;
+    axpy(-1.0, ws.ax, resid);
+    const double next_rel = norm2(resid) / bnorm;
+
+    // A refinement step that barely moves the true residual means fp32 has
+    // hit its wall (or the inner solve diverged): give up after two in a row
+    // rather than loop — the caller falls back to fp64.
+    const bool stalled = next_rel > 0.5 * rel;
+    rel = next_rel;
+    if (stalled) {
+      if (++stalls >= 2) break;
+    } else {
+      stalls = 0;
+    }
+  }
+
+  report.relative_residual = rel;
+  report.converged = report.converged || rel < opts.rel_tolerance;
+  finish_history(report, recording);
+  return report;
+}
+
+}  // namespace lcn::sparse

@@ -55,6 +55,7 @@ AssembledThermal ThermalAssemblyPlan::assemble(double p_sys) const {
   out.volumetric_heat = volumetric_heat;
   out.inlet_temperature = inlet_temperature;
   out.source_nodes = source_nodes;
+  out.mg_hint = mg_hint;
 
   // Replay the ordered RHS contributions (same `+=` sequence as a fresh
   // traversal).

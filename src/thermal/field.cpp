@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/env.hpp"
 #include "common/instrument.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
@@ -50,9 +51,28 @@ double advected_heat(const AssembledThermal& system,
   return sum;
 }
 
+SteadySolverConfig SteadySolverConfig::from_env() {
+  SteadySolverConfig cfg;
+  const std::string precon = env_string("LCN_SOLVER_PRECON", "ilu0");
+  if (precon == "mg" || precon == "multigrid") {
+    cfg.precon = Precon::kMultigrid;
+  }
+  const std::string method = env_string("LCN_SOLVER_METHOD", "auto");
+  if (method == "bicgstab") {
+    cfg.method = sparse::GeneralMethod::kBicgstab;
+  } else if (method == "gmres") {
+    cfg.method = sparse::GeneralMethod::kGmres;
+  }
+  if (env_string("LCN_SOLVER_PRECISION", "double") == "mixed") {
+    cfg.precision = sparse::Precision::kMixed;
+  }
+  return cfg;
+}
+
 ThermalField solve_steady(const AssembledThermal& system, double rel_tolerance,
                           const std::vector<double>* initial_guess,
-                          SteadyWorkspace* workspace) {
+                          SteadyWorkspace* workspace,
+                          const SteadySolverConfig* config) {
   LCN_TRACE_SPAN_FINE("solve_steady");
   std::vector<double> temps;
   if (initial_guess != nullptr &&
@@ -61,20 +81,42 @@ ThermalField solve_steady(const AssembledThermal& system, double rel_tolerance,
   } else {
     temps.assign(system.matrix.rows(), system.inlet_temperature);
   }
+  const SteadySolverConfig cfg =
+      config != nullptr ? *config : SteadySolverConfig::from_env();
   sparse::SolveOptions opts;
   opts.rel_tolerance = rel_tolerance;
+  opts.method = cfg.method;
+  opts.precision = cfg.precision;
   const WallTimer timer;
+  const bool use_mg = cfg.precon == SteadySolverConfig::Precon::kMultigrid;
   if (workspace != nullptr) {
     // Matrices refilled from one assembly plan share index arrays, so the
     // preconditioner skips its symbolic analysis on every refactorization.
-    if (workspace->ilu) {
-      workspace->ilu->refactor(system.matrix);
+    if (use_mg) {
+      if (workspace->mg) {
+        workspace->mg->refactor(system.matrix);
+      } else {
+        workspace->mg.emplace(system.matrix, system.mg_hint.get());
+      }
+      sparse::solve_general_or_throw(system.matrix, system.rhs, temps,
+                                     "steady thermal solve", *workspace->mg,
+                                     workspace->krylov, opts);
     } else {
-      workspace->ilu.emplace(system.matrix);
+      if (workspace->ilu) {
+        workspace->ilu->refactor(system.matrix);
+      } else {
+        workspace->ilu.emplace(system.matrix);
+      }
+      sparse::solve_general_or_throw(system.matrix, system.rhs, temps,
+                                     "steady thermal solve", *workspace->ilu,
+                                     workspace->krylov, opts);
     }
+  } else if (use_mg) {
+    const sparse::MultigridPreconditioner mg(system.matrix,
+                                             system.mg_hint.get());
+    sparse::SolverWorkspace ws;
     sparse::solve_general_or_throw(system.matrix, system.rhs, temps,
-                                   "steady thermal solve", *workspace->ilu,
-                                   workspace->krylov, opts);
+                                   "steady thermal solve", mg, ws, opts);
   } else {
     sparse::solve_general_or_throw(system.matrix, system.rhs, temps,
                                    "steady thermal solve", opts);

@@ -5,10 +5,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "sparse/csr.hpp"
+#include "sparse/multigrid.hpp"
 #include "sparse/preconditioner.hpp"
 #include "sparse/solvers.hpp"
 
@@ -20,6 +22,12 @@ struct AssembledThermal {
   sparse::CsrMatrix matrix;
   sparse::Vector rhs;
   sparse::Vector capacitance;  ///< J/K per node
+
+  /// Structured-grid coordinates per matrix row (layer, row, col), shared
+  /// from the assembly plan. Enables geometric multigrid coarsening; absent
+  /// (null) systems still solve — multigrid falls back to algebraic
+  /// aggregation.
+  std::shared_ptr<const sparse::MgGridHint> mg_hint;
 
   /// Per source layer: node ids in row-major map order.
   std::vector<std::vector<std::size_t>> source_nodes;
@@ -64,19 +72,41 @@ double advected_heat(const AssembledThermal& system,
 /// reallocated. One workspace per thread — no internal synchronization.
 struct SteadyWorkspace {
   std::optional<sparse::Ilu0Preconditioner> ilu;
+  std::optional<sparse::MultigridPreconditioner> mg;
   sparse::SolverWorkspace krylov;
 };
 
-/// Solve the steady system (ILU(0)-preconditioned BiCGSTAB, GMRES fallback)
-/// and build the field. Throws lcn::RuntimeError on non-convergence.
+/// Solver selection for solve_steady (DESIGN.md §S20). The default value is
+/// the seed configuration — ILU(0)-preconditioned fp64 cascade — and takes
+/// exactly the pre-existing code path, bit for bit. from_env() reads the
+/// LCN_SOLVER_* knobs so large-grid runs can switch the whole binary over
+/// without a code change (README "Solver selection").
+struct SteadySolverConfig {
+  enum class Precon {
+    kIlu0,       ///< zero fill-in incomplete LU (seed default)
+    kMultigrid,  ///< geometric/algebraic multigrid V-cycle
+  };
+  Precon precon = Precon::kIlu0;
+  sparse::GeneralMethod method = sparse::GeneralMethod::kAuto;
+  sparse::Precision precision = sparse::Precision::kDouble;
+
+  /// LCN_SOLVER_PRECON=ilu0|mg, LCN_SOLVER_METHOD=auto|bicgstab|gmres,
+  /// LCN_SOLVER_PRECISION=double|mixed. Unset/unknown values keep defaults.
+  static SteadySolverConfig from_env();
+};
+
+/// Solve the steady system (preconditioned BiCGSTAB, GMRES fallback) and
+/// build the field. Throws lcn::RuntimeError on non-convergence.
 /// `initial_guess` (optional, right size) warm-starts the Krylov solve —
 /// the pressure searches probe many nearby P_sys values, and the previous
 /// temperature field is an excellent starting point. `workspace` (optional)
 /// carries preconditioner + Krylov scratch across calls; the solve itself is
-/// bit-identical with or without it.
+/// bit-identical with or without it. `config` (optional) selects the
+/// preconditioner/method/precision; null reads SteadySolverConfig::from_env().
 ThermalField solve_steady(const AssembledThermal& system,
                           double rel_tolerance = 1e-9,
                           const std::vector<double>* initial_guess = nullptr,
-                          SteadyWorkspace* workspace = nullptr);
+                          SteadyWorkspace* workspace = nullptr,
+                          const SteadySolverConfig* config = nullptr);
 
 }  // namespace lcn

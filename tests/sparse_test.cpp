@@ -7,6 +7,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/gmres.hpp"
+#include "sparse/multigrid.hpp"
 #include "sparse/preconditioner.hpp"
 #include "sparse/solvers.hpp"
 
@@ -328,6 +329,63 @@ TEST(ResidualHistory, RecordedOnNonConvergence) {
   ASSERT_FALSE(report.converged);
   ASSERT_FALSE(report.residual_history.empty());
   EXPECT_EQ(report.residual_history.back(), report.relative_residual);
+}
+
+TEST(ResidualHistory, MultigridPreconditionedFinalEntryMatchesReport) {
+  Rng rng(15);
+  const CsrMatrix a = random_nonsymmetric(160, rng, 0.6);
+  Vector b(160);
+  for (auto& v : b) v = rng.next_real(-1.0, 1.0);
+  // No grid hint: exercises the algebraic-aggregation hierarchy.
+  const MultigridPreconditioner m(a);
+
+  Vector x;
+  SolveOptions opts;
+  opts.record_residuals = true;
+  const SolveReport report = bicgstab_solve(a, b, x, m, opts);
+  ASSERT_TRUE(report.converged);
+  ASSERT_FALSE(report.residual_history.empty());
+  EXPECT_EQ(report.residual_history.back(), report.relative_residual);
+
+  Vector y;
+  const SolveReport quiet = bicgstab_solve(a, b, y, m);
+  EXPECT_TRUE(quiet.residual_history.empty());
+  EXPECT_EQ(y, x);
+}
+
+TEST(ResidualHistory, MixedPrecisionFinalEntryMatchesReport) {
+  Rng rng(16);
+  const CsrMatrix a = random_spd(180, rng);
+  Vector b(180);
+  for (auto& v : b) v = rng.next_real(-1.0, 1.0);
+  const JacobiPreconditioner m(a);
+
+  Vector x;
+  SolverWorkspace ws;
+  SolveOptions opts;
+  opts.rel_tolerance = 1e-10;
+  opts.record_residuals = true;
+  const SolveReport report = mixed_refined_solve(a, b, x, m, ws, opts);
+  ASSERT_TRUE(report.converged);
+  ASSERT_FALSE(report.residual_history.empty());
+  EXPECT_EQ(report.residual_history.back(), report.relative_residual);
+
+  // Stalled/capped refinement must keep the contract on the failure path.
+  Vector y;
+  SolveOptions capped = opts;
+  capped.mixed_max_refinements = 1;
+  capped.rel_tolerance = 1e-14;
+  const SolveReport stalled = mixed_refined_solve(a, b, y, m, ws, capped);
+  ASSERT_FALSE(stalled.converged);
+  ASSERT_FALSE(stalled.residual_history.empty());
+  EXPECT_EQ(stalled.residual_history.back(), stalled.relative_residual);
+
+  Vector z;
+  SolveOptions unrecorded;
+  unrecorded.rel_tolerance = 1e-10;
+  const SolveReport quiet = mixed_refined_solve(a, b, z, m, ws, unrecorded);
+  EXPECT_TRUE(quiet.residual_history.empty());
+  EXPECT_EQ(z, x);  // telemetry never perturbs the iterates
 }
 
 }  // namespace
