@@ -41,7 +41,10 @@ namespace {
   X(mg_vcycles)                    \
   X(mg_coarse_solves)              \
   X(fp32_inner_iters)              \
-  X(refinement_steps)
+  X(refinement_steps)              \
+  X(island_migrations)             \
+  X(pt_swaps)                      \
+  X(archive_inserts)
 
 struct Counters {
 #define LCN_INSTRUMENT_FIELD(name) std::atomic<std::uint64_t> name{0};
@@ -144,6 +147,13 @@ void add_fp32_inner(std::uint64_t iterations) {
 void add_refinement_step() {
   counters().refinement_steps.fetch_add(1, kRelaxed);
 }
+void add_island_migration() {
+  counters().island_migrations.fetch_add(1, kRelaxed);
+}
+void add_pt_swap() { counters().pt_swaps.fetch_add(1, kRelaxed); }
+void add_archive_insert() {
+  counters().archive_inserts.fetch_add(1, kRelaxed);
+}
 
 Snapshot snapshot() {
   const Counters& c = counters();
@@ -195,7 +205,9 @@ std::string Snapshot::json() const {
       "\"recovery_searches\":%llu,"
       "\"trace_events_emitted\":%llu,\"trace_events_dropped\":%llu,"
       "\"mg_vcycles\":%llu,\"mg_coarse_solves\":%llu,"
-      "\"fp32_inner_iters\":%llu,\"refinement_steps\":%llu}",
+      "\"fp32_inner_iters\":%llu,\"refinement_steps\":%llu,"
+      "\"island_migrations\":%llu,\"pt_swaps\":%llu,"
+      "\"archive_inserts\":%llu}",
       static_cast<unsigned long long>(spmv_count),
       static_cast<unsigned long long>(spmv_nnz),
       static_cast<unsigned long long>(cg_solves),
@@ -223,7 +235,10 @@ std::string Snapshot::json() const {
       static_cast<unsigned long long>(mg_vcycles),
       static_cast<unsigned long long>(mg_coarse_solves),
       static_cast<unsigned long long>(fp32_inner_iters),
-      static_cast<unsigned long long>(refinement_steps));
+      static_cast<unsigned long long>(refinement_steps),
+      static_cast<unsigned long long>(island_migrations),
+      static_cast<unsigned long long>(pt_swaps),
+      static_cast<unsigned long long>(archive_inserts));
 }
 
 }  // namespace lcn::instrument

@@ -45,6 +45,9 @@ struct Snapshot {
   std::uint64_t mg_coarse_solves = 0;      ///< dense coarse-level solves
   std::uint64_t fp32_inner_iters = 0;      ///< fp32 inner Krylov iterations
   std::uint64_t refinement_steps = 0;      ///< fp64 iterative-refinement steps
+  std::uint64_t island_migrations = 0;     ///< accepted island best-design moves
+  std::uint64_t pt_swaps = 0;              ///< accepted parallel-tempering swaps
+  std::uint64_t archive_inserts = 0;       ///< Pareto-archive frontier entries
 
   double cache_hit_rate() const;
   std::string json() const;
@@ -73,6 +76,9 @@ void add_mg_vcycle();
 void add_mg_coarse_solve();
 void add_fp32_inner(std::uint64_t iterations);
 void add_refinement_step();
+void add_island_migration();
+void add_pt_swap();
+void add_archive_insert();
 
 Snapshot snapshot();
 /// Difference of two snapshots (per-phase accounting in benches). This is

@@ -1,0 +1,240 @@
+#include "opt/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/strings.hpp"
+
+namespace lcn {
+
+namespace {
+
+bool finite_objectives(const ParetoPoint& p) {
+  return std::isfinite(p.w_pump) && std::isfinite(p.delta_t) &&
+         std::isfinite(p.t_max);
+}
+
+bool objectives_equal(const ParetoPoint& a, const ParetoPoint& b) {
+  return a.w_pump == b.w_pump && a.delta_t == b.delta_t && a.t_max == b.t_max;
+}
+
+/// Weak dominance: a is no worse than b in every objective.
+bool dominates_or_equal(const ParetoPoint& a, const ParetoPoint& b) {
+  return a.w_pump <= b.w_pump && a.delta_t <= b.delta_t && a.t_max <= b.t_max;
+}
+
+bool canonical_less(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.w_pump != b.w_pump) return a.w_pump < b.w_pump;
+  if (a.delta_t != b.delta_t) return a.delta_t < b.delta_t;
+  if (a.t_max != b.t_max) return a.t_max < b.t_max;
+  return a.design < b.design;
+}
+
+std::string escape_tag(const std::string& tag) {
+  std::string out;
+  out.reserve(tag.size());
+  for (char c : tag) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Find `"key":` in a to_jsonl()-formatted line and return the raw value
+/// text (number, or quoted string for "tag").
+std::string field_text(const std::string& line, const char* key) {
+  const std::string needle = strfmt("\"%s\":", key);
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) {
+    throw RuntimeError(strfmt("pareto line missing %s", key));
+  }
+  std::size_t i = at + needle.size();
+  while (i < line.size() && line[i] == ' ') ++i;
+  if (i < line.size() && line[i] == '"') {
+    // Quoted string: scan to the closing unescaped quote.
+    std::string out;
+    for (++i; i < line.size(); ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        out.push_back(line[i + 1] == 'n' ? '\n' : line[i + 1]);
+        ++i;
+        continue;
+      }
+      if (line[i] == '"') return out;
+      out.push_back(line[i]);
+    }
+    throw RuntimeError("pareto line: unterminated string value");
+  }
+  std::size_t end = i;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(i, end - i);
+}
+
+double field_double(const std::string& line, const char* key) {
+  const std::string text = field_text(line, key);
+  char* parse_end = nullptr;
+  const double value = std::strtod(text.c_str(), &parse_end);
+  if (parse_end == text.c_str()) {
+    throw RuntimeError(strfmt("pareto line: bad number for %s", key));
+  }
+  return value;
+}
+
+}  // namespace
+
+bool pareto_dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  return dominates_or_equal(a, b) && !objectives_equal(a, b);
+}
+
+ArchiveInsert ParetoArchive::insert(const ParetoPoint& point) {
+  ++attempts_;
+  if (!finite_objectives(point)) {
+    return ArchiveInsert::kNotFinite;
+  }
+  for (const ParetoPoint& existing : points_) {
+    if (existing.design == point.design) {
+      ++duplicates_;
+      return ArchiveInsert::kDuplicate;
+    }
+  }
+  // Reject when any archived point weakly dominates the newcomer — except
+  // an exact objective tie from a different design, which coexists (both
+  // survive regardless of arrival order, keeping the archive order-free).
+  for (const ParetoPoint& existing : points_) {
+    if (pareto_dominates(existing, point)) {
+      ++dominated_;
+      return ArchiveInsert::kDominated;
+    }
+  }
+  // Prune everything the newcomer strictly dominates.
+  const std::size_t before = points_.size();
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [&](const ParetoPoint& existing) {
+                                 return pareto_dominates(point, existing);
+                               }),
+                points_.end());
+  pruned_ += before - points_.size();
+  points_.push_back(point);
+  ++inserted_;
+  return ArchiveInsert::kInserted;
+}
+
+void ParetoArchive::clear() {
+  points_.clear();
+  attempts_ = inserted_ = duplicates_ = dominated_ = pruned_ = 0;
+}
+
+std::vector<ParetoPoint> ParetoArchive::sorted() const {
+  std::vector<ParetoPoint> out = points_;
+  std::sort(out.begin(), out.end(), canonical_less);
+  return out;
+}
+
+double ParetoArchive::hypervolume(double ref_w_pump, double ref_delta_t,
+                                  double ref_t_max) const {
+  // Contributors must beat the reference in every objective; clip is not
+  // needed because each box spans [point, reference].
+  std::vector<ParetoPoint> pts;
+  for (const ParetoPoint& p : points_) {
+    if (p.w_pump < ref_w_pump && p.delta_t < ref_delta_t &&
+        p.t_max < ref_t_max) {
+      pts.push_back(p);
+    }
+  }
+  if (pts.empty()) return 0.0;
+
+  // Sweep t_max slabs: between consecutive t_max levels the dominated
+  // cross-section is the 2D staircase of every point at or below the slab.
+  std::vector<double> levels;
+  levels.reserve(pts.size() + 1);
+  for (const ParetoPoint& p : pts) levels.push_back(p.t_max);
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  levels.push_back(ref_t_max);
+
+  double volume = 0.0;
+  for (std::size_t s = 0; s + 1 < levels.size(); ++s) {
+    const double slab = levels[s + 1] - levels[s];
+    if (slab <= 0.0) continue;
+    // Active set: points whose t_max is within the slab's floor.
+    std::vector<ParetoPoint> active;
+    for (const ParetoPoint& p : pts) {
+      if (p.t_max <= levels[s]) active.push_back(p);
+    }
+    if (active.empty()) continue;
+    std::sort(active.begin(), active.end(), canonical_less);
+    // 2D staircase area w.r.t. (ref_w_pump, ref_delta_t): scanning by
+    // ascending w_pump, each point extends the area left of the next kept
+    // point by its own delta_t headroom.
+    double area = 0.0;
+    double best_dt = ref_delta_t;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (active[i].delta_t >= best_dt) continue;  // 2D-dominated in slab
+      double next_w = ref_w_pump;
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        if (active[j].delta_t < active[i].delta_t) {
+          next_w = active[j].w_pump;
+          break;
+        }
+      }
+      area += (next_w - active[i].w_pump) * (ref_delta_t - active[i].delta_t);
+      best_dt = active[i].delta_t;
+    }
+    volume += slab * area;
+  }
+  return volume;
+}
+
+std::string ParetoArchive::to_jsonl() const {
+  std::string out;
+  for (const ParetoPoint& p : sorted()) {
+    out += strfmt(
+        "{\"design\":%llu,\"w_pump\":%.17g,\"delta_t\":%.17g,"
+        "\"t_max\":%.17g,\"p_sys\":%.17g,\"tag\":\"%s\"}\n",
+        static_cast<unsigned long long>(p.design), p.w_pump, p.delta_t,
+        p.t_max, p.p_sys, escape_tag(p.tag).c_str());
+  }
+  return out;
+}
+
+void ParetoArchive::save_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw RuntimeError("cannot open pareto snapshot: " + path);
+  out << to_jsonl();
+  out.flush();
+  if (!out) throw RuntimeError("failed writing pareto snapshot: " + path);
+}
+
+ParetoPoint ParetoArchive::parse_point(const std::string& line) {
+  ParetoPoint p;
+  p.design = static_cast<std::uint64_t>(
+      std::strtoull(field_text(line, "design").c_str(), nullptr, 10));
+  p.w_pump = field_double(line, "w_pump");
+  p.delta_t = field_double(line, "delta_t");
+  p.t_max = field_double(line, "t_max");
+  p.p_sys = field_double(line, "p_sys");
+  p.tag = field_text(line, "tag");
+  return p;
+}
+
+ParetoArchive ParetoArchive::load_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw RuntimeError("cannot read pareto snapshot: " + path);
+  ParetoArchive archive;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    archive.insert(parse_point(line));
+  }
+  return archive;
+}
+
+}  // namespace lcn

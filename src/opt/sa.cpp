@@ -4,15 +4,12 @@
 #include <cmath>
 #include <limits>
 
-#include "common/env.hpp"
-#include "common/instrument.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/log.hpp"
-#include "common/thread_pool.hpp"
-#include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "network/design_rules.hpp"
+#include "opt/islands.hpp"
 
 namespace lcn {
 
@@ -188,294 +185,11 @@ int TreeTopologyOptimizer::pick_direction(const TreeLayout& probe_layout,
 }
 
 DesignOutcome TreeTopologyOptimizer::run(const std::vector<SaStage>& stages) {
-  LCN_REQUIRE(!stages.empty(), "need at least one SA stage");
-  trace::Span run_span("sa_run");
-  if (run_span.active()) {
-    run_span.set_args(strfmt("\"bench\":\"%s\",\"stages\":%zu",
-                             bench_.name.c_str(), stages.size()));
-  }
-  WallTimer timer;
-  DesignOutcome outcome;
-  Rng rng(seed_);
-
-  TreeLayout incumbent = initial_layout();
-  const int direction =
-      pick_direction(incumbent, stages.front().sim, &outcome.evaluations);
-  outcome.direction = direction;
-
-  // Score of the incumbent under a stage's *full* metric.
-  auto full_score = [&](const TreeLayout& layout,
-                        const SimConfig& sim) -> EvalResult {
-    ++outcome.evaluations;
-    return evaluate_network(realize(layout, direction), sim);
-  };
-
-  // Seed the incumbent from a handful of uniform layouts spanning the
-  // branch-position range: on hard cases (e.g. case 5) most of the space is
-  // infeasible (+inf) and SA gets no gradient, so starting near a feasible
-  // pocket matters.
-  {
-    const int cols = bench_.problem.grid.cols();
-    double best_score = full_score(incumbent, stages.front().sim).score;
-    for (const auto& [f1, f2] :
-         {std::pair{0.05, 0.12}, {0.15, 0.30}, {0.25, 0.50}, {0.45, 0.75}}) {
-      const TreeLayout seed = make_uniform_layout(
-          bench_.problem.grid, static_cast<int>(cols * f1),
-          static_cast<int>(cols * f2));
-      const double score = full_score(seed, stages.front().sim).score;
-      if (score < best_score) {
-        best_score = score;
-        incumbent = seed;
-      }
-    }
-    // Power-aware seed: per-band branch positions derived from where the
-    // heat actually sits (§3 compensation), mapped into the canonical frame
-    // of the chosen direction.
-    PowerMap combined = bench_.problem.source_power.front();
-    for (std::size_t i = 1; i < bench_.problem.source_power.size(); ++i) {
-      const PowerMap& map = bench_.problem.source_power[i];
-      for (int r = 0; r < combined.grid().rows(); ++r) {
-        for (int c = 0; c < combined.grid().cols(); ++c) {
-          combined.at(r, c) += map.at(r, c);
-        }
-      }
-    }
-    const TreeLayout aware = make_power_aware_layout(
-        bench_.problem.grid,
-        combined.transformed(D4Transform(direction).inverse()));
-    const double aware_score = full_score(aware, stages.front().sim).score;
-    if (aware_score < best_score) {
-      best_score = aware_score;
-      incumbent = aware;
-    }
-  }
-
-  for (std::size_t stage_idx = 0; stage_idx < stages.size(); ++stage_idx) {
-    const SaStage& stage = stages[stage_idx];
-    trace::Span stage_span("sa_stage");
-    if (stage_span.active()) {
-      stage_span.set_args(strfmt(
-          "\"stage\":\"%s\",\"rounds\":%d,\"iterations\":%d,\"neighbors\":%d",
-          stage.name.c_str(), stage.rounds, stage.iterations,
-          stage.neighbors));
-    }
-
-    // Stage-1-style cost needs a representative fixed pressure: take the
-    // incumbent's optimal operating point (fallback: the search's P_init).
-    double fixed_pressure = search_options_.p_init;
-    if (stage.fixed_pressure_cost) {
-      const EvalResult ref = full_score(incumbent, stage.sim);
-      if (ref.feasible) fixed_pressure = ref.p_sys;
-    }
-
-    // Group-leader pressure for Problem-2 grouped evaluation.
-    double group_pressure = search_options_.p_init;
-
-    auto cost_of = [&](const TreeLayout& layout,
-                       bool leader) -> EvalResult {
-      const CoolingNetwork net = realize(layout, direction);
-      DesignRules rules;
-      rules.forbidden = bench_.forbidden;
-      if (!check_design_rules(net, rules).ok()) {
-        return EvalResult::infeasible_result();
-      }
-      // SA pools frequently regenerate layouts seen a few iterations ago;
-      // identical (network, model, mode, pressure) probes hit the cache.
-      EvalMode mode;
-      double key_pressure = 0.0;
-      if (stage.fixed_pressure_cost) {
-        mode = EvalMode::kFixedPressure;
-        key_pressure = fixed_pressure;
-      } else if (objective_ == DesignObjective::kPumpingPower) {
-        mode = EvalMode::kFullP1;
-      } else if (stage.group_size > 1 && !leader) {
-        mode = EvalMode::kP2Follower;
-        key_pressure = group_pressure;
-      } else {
-        mode = EvalMode::kFullP2;
-      }
-      const EvalCacheKey key =
-          make_eval_key(problem_fp_, net, stage.sim, mode, key_pressure);
-      if (const auto cached = cache_.find(key)) return *cached;
-      EvalResult result;
-      if (!robust_.empty() &&
-          (mode == EvalMode::kFullP1 || mode == EvalMode::kFullP2)) {
-        // Robust mode: worst case over the fixed fault sample. The cheap
-        // fixed-pressure / follower probes keep nominal scoring.
-        result = robust_evaluate(bench_.problem, net, constraints_, mode,
-                                 stage.sim, search_options_, robust_);
-      } else {
-        try {
-          SystemEvaluator eval(bench_.problem, net, stage.sim);
-          if (stage.fixed_pressure_cost) {
-            // ΔT at a fixed pressure: one simulation (§4.4 stage 1).
-            result.feasible = true;
-            result.p_sys = fixed_pressure;
-            result.w_pump = eval.pumping_power(fixed_pressure);
-            result.at_p = eval.probe(fixed_pressure);
-            result.score = result.at_p.delta_t;
-          } else if (objective_ == DesignObjective::kPumpingPower) {
-            result = evaluate_p1(eval, constraints_, search_options_);
-          } else if (stage.group_size > 1 && !leader) {
-            result = evaluate_p2_at(eval, constraints_, group_pressure);
-          } else {
-            result = evaluate_p2(eval, constraints_, search_options_);
-          }
-        } catch (const RuntimeError&) {
-          result = EvalResult::infeasible_result();
-        }
-      }
-      cache_.store(key, result);
-      return result;
-    };
-
-    // Multi-round SA; rounds differ only in the random seed (§4.4).
-    struct RoundBest {
-      TreeLayout layout;
-      double score = kInf;
-    };
-    std::vector<RoundBest> round_bests;
-
-    for (int round = 0; round < stage.rounds; ++round) {
-      LCN_TRACE_SPAN("sa_round");
-      Rng round_rng = rng.fork();
-      // Root of the per-neighbor streams: every (round, iteration, neighbor)
-      // triple gets an independent rng derived below, so the trajectory is
-      // identical no matter how many threads score the pool.
-      const std::uint64_t round_key = round_rng.next_u64();
-      TreeLayout state = incumbent;
-      EvalResult state_eval = cost_of(state, /*leader=*/true);
-      ++outcome.evaluations;
-      if (state_eval.feasible) group_pressure = state_eval.p_sys;
-      double state_score = state_eval.score;
-
-      RoundBest best{state, state_score};
-
-      // Geometric temperature schedule anchored to the initial score.
-      const double anchor =
-          std::isfinite(state_score) ? std::max(std::abs(state_score), 1e-6)
-                                     : 1.0;
-      double temperature = 0.3 * anchor;
-      const double alpha =
-          stage.iterations > 1
-              ? std::pow(1e-2, 1.0 / (stage.iterations - 1))
-              : 1.0;
-
-      int accepted_count = 0;
-
-      for (int iter = 0; iter < stage.iterations; ++iter) {
-        const bool leader =
-            stage.group_size <= 1 || iter % stage.group_size == 0;
-        // Progress-stream bookkeeping: pressure probes consumed by this
-        // iteration alone. Counter reads happen only while tracing.
-        const std::uint64_t probes_before =
-            trace::enabled() ? instrument::snapshot().pressure_probes : 0;
-
-        // Generate and score the neighbor pool concurrently (the paper
-        // scores 64 neighbors at once on an 80-core server). Each neighbor
-        // mutates under its own rng stream keyed by (round, iteration,
-        // neighbor index), so the pool — and hence the accepted-move
-        // sequence — does not depend on evaluation order or thread count.
-        std::vector<TreeLayout> pool(static_cast<std::size_t>(stage.neighbors));
-        std::vector<EvalResult> scores(pool.size());
-        global_pool().parallel_for(pool.size(), [&](std::size_t k) {
-          SplitMix64 sm(round_key ^
-                        (static_cast<std::uint64_t>(iter) << 20) ^ k);
-          Rng neighbor_rng(sm.next());
-          pool[k] = mutate(state, stage.step, neighbor_rng);
-          scores[k] = cost_of(pool[k], leader);
-        });
-        outcome.evaluations += pool.size();
-
-        std::size_t best_k = 0;
-        for (std::size_t k = 1; k < pool.size(); ++k) {
-          if (scores[k].score < scores[best_k].score) best_k = k;
-        }
-        const double candidate = scores[best_k].score;
-
-        // Metropolis acceptance of the pool's best candidate.
-        bool accept = false;
-        if (candidate < state_score) {
-          accept = true;
-        } else if (std::isfinite(candidate) && temperature > 0.0) {
-          const double delta = candidate - state_score;
-          accept = round_rng.next_double() < std::exp(-delta / temperature);
-        }
-        if (accept) {
-          ++accepted_count;
-          state = pool[best_k];
-          state_score = candidate;
-          if (leader && scores[best_k].feasible) {
-            group_pressure = scores[best_k].p_sys;
-          }
-          if (state_score < best.score) best = {state, state_score};
-        }
-        if (trace::enabled()) {
-          // One record per SA iteration: where the anneal is (temperature,
-          // acceptance), what it sees (scores), and what it cost (cache hit
-          // rate so far, pressure probes this iteration).
-          const std::uint64_t hits = cache_.hits();
-          const std::uint64_t misses = cache_.misses();
-          const double lookups = static_cast<double>(hits + misses);
-          const double hit_rate =
-              lookups > 0.0 ? static_cast<double>(hits) / lookups : 0.0;
-          const std::uint64_t probes =
-              instrument::snapshot().pressure_probes - probes_before;
-          trace::emit_instant(
-              "sa_iter", trace::kCoarse,
-              strfmt("\"stage\":\"%s\",\"round\":%d,\"iter\":%d,"
-                     "\"temperature\":%.6g,\"current\":%.9g,"
-                     "\"candidate\":%.9g,\"best\":%.9g,\"accepted\":%s,"
-                     "\"accept_rate\":%.4f,\"cache_hit_rate\":%.4f,"
-                     "\"probes\":%llu",
-                     stage.name.c_str(), round, iter, temperature,
-                     state_score, candidate, best.score,
-                     accept ? "true" : "false",
-                     static_cast<double>(accepted_count) / (iter + 1),
-                     hit_rate, static_cast<unsigned long long>(probes))
-                  .c_str());
-        }
-        temperature *= alpha;
-      }
-      round_bests.push_back(best);
-    }
-
-    // Select the stage output: re-evaluate round bests with the next stage's
-    // (or the sign-off) metric and keep the winner.
-    const SimConfig& next_sim = stage_idx + 1 < stages.size()
-                                    ? stages[stage_idx + 1].sim
-                                    : stage.sim;
-    double best_score = kInf;
-    TreeLayout best_layout = incumbent;
-    for (const RoundBest& rb : round_bests) {
-      const EvalResult re = full_score(rb.layout, next_sim);
-      if (re.score < best_score) {
-        best_score = re.score;
-        best_layout = rb.layout;
-      }
-    }
-    // Keep the incumbent when no round improved on it.
-    const EvalResult incumbent_eval = full_score(incumbent, next_sim);
-    if (incumbent_eval.score <= best_score) {
-      best_score = incumbent_eval.score;
-    } else {
-      incumbent = best_layout;
-    }
-    LCN_INFO() << bench_.name << ": stage " << stage.name
-               << " done, score " << best_score;
-  }
-
-  // Final sign-off with the accurate model.
-  const SimConfig signoff{ThermalModelKind::k4RM, 1};
-  outcome.layout = incumbent;
-  outcome.network = realize(incumbent, direction);
-  outcome.eval = evaluate_network(outcome.network, signoff);
-  ++outcome.evaluations;
-  outcome.feasible = outcome.eval.feasible;
-  outcome.seconds = timer.seconds();
-  outcome.cache_hits = static_cast<std::size_t>(cache_.hits());
-  outcome.cache_misses = static_cast<std::size_t>(cache_.misses());
-  return outcome;
+  // The annealing loop itself lives in the island engine (opt/islands.cpp):
+  // running it with one island and communication off IS the plain
+  // single-chain SA, so there is exactly one trajectory implementation and
+  // the K=1 equivalence contract of DESIGN.md §S21 holds by construction.
+  return detail::run_islands(*this, stages, IslandOptions{}).best;
 }
 
 BaselineOutcome best_straight_baseline(const BenchmarkCase& bench,

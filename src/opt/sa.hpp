@@ -27,6 +27,10 @@
 
 namespace lcn {
 
+namespace detail {
+class IslandEngine;  // opt/islands.cpp: the K-chain generalization of run()
+}  // namespace detail
+
 enum class DesignObjective {
   kPumpingPower,    ///< Problem 1: min W_pump s.t. ΔT*, T*_max
   kThermalGradient  ///< Problem 2: min ΔT s.t. W*_pump, T*_max
@@ -105,6 +109,12 @@ class TreeTopologyOptimizer {
   const RobustSample& robust_sample() const { return robust_; }
 
  private:
+  /// The island engine (opt/islands.cpp) runs K generalized copies of this
+  /// optimizer's annealing loop over its private evaluation context; run()
+  /// itself delegates there with K=1, so single-chain and island SA share
+  /// one trajectory implementation by construction.
+  friend class detail::IslandEngine;
+
   TreeLayout initial_layout() const;
   TreeLayout mutate(const TreeLayout& layout, int step, Rng& rng) const;
   int pick_direction(const TreeLayout& probe_layout, const SimConfig& sim,
