@@ -1,0 +1,139 @@
+// E18 — multi-tenant serving throughput (DESIGN.md §S22). The same batch of
+// evaluation jobs is pushed through the fair-share scheduler at 1, 4 and 16
+// concurrent lanes; aggregate throughput and per-job run-time quantiles
+// (p50/p95) are reported per configuration. Single jobs are Amdahl-limited
+// (Krylov solves keep a serial fraction), so on a multi-core host concurrent
+// lanes overlap independent solves and aggregate throughput rises well above
+// the single-lane baseline.
+//
+// Self-checking: on a host with >= 4 hardware threads and a pool of >= 4
+// workers, exits nonzero unless aggregate throughput at 4 lanes reaches 2x
+// the 1-lane baseline. On narrower hosts the check is skipped (and said so):
+// with one core there is no overlap to win.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "geom/benchmarks.hpp"
+#include "service/scheduler.hpp"
+
+int main() {
+  using namespace lcn;
+  using Clock = std::chrono::steady_clock;
+  benchutil::banner("Serving throughput — concurrent evaluation tenants",
+                    "DESIGN.md §S22 (design-as-a-service)");
+
+  const int case_id = benchutil::case_ids("1").front();
+  const int jobs = static_cast<int>(
+      env_int("LCN_SERVE_JOBS", env_flag("LCN_FAST") ? 8 : 24));
+  const std::size_t pool = global_pool_threads();
+  const std::size_t hw = std::thread::hardware_concurrency();
+  std::printf("case %d, %d jobs per configuration, pool %zu, hardware %zu "
+              "(LCN_CASES / LCN_SERVE_JOBS / LCN_THREADS)\n\n",
+              case_id, jobs, pool, hw);
+
+  service::JobRequest request;
+  request.kind = service::JobKind::kEvaluate;
+  request.case_id = case_id;
+  request.sim = SimConfig{ThermalModelKind::k2RM, 4};
+
+  // Prewarm the shared flow-plan cache so every configuration measures
+  // steady-state serving, not the first tenant's one-time plan analysis.
+  {
+    service::Scheduler warm(service::Scheduler::Options{1});
+    const service::JobResult r = warm.wait(warm.submit(request));
+    if (r.status != service::JobStatus::kDone) {
+      std::printf("FAIL: warmup job did not complete: %s\n", r.error.c_str());
+      return 1;
+    }
+  }
+
+  struct Row {
+    std::size_t lanes = 0;
+    double seconds = 0.0;
+    double throughput = 0.0;  ///< jobs per second
+    double p50 = 0.0, p95 = 0.0;
+  };
+  std::vector<Row> rows;
+
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}}) {
+    const instrument::Snapshot before = instrument::snapshot();
+    const auto t0 = Clock::now();
+    std::vector<double> run_seconds;
+    {
+      service::Scheduler scheduler(service::Scheduler::Options{lanes});
+      std::vector<std::uint64_t> ids;
+      ids.reserve(static_cast<std::size_t>(jobs));
+      for (int i = 0; i < jobs; ++i) ids.push_back(scheduler.submit(request));
+      for (const std::uint64_t id : ids) {
+        const service::JobResult result = scheduler.wait(id);
+        if (result.status != service::JobStatus::kDone) {
+          std::printf("FAIL: job %llu: %s\n",
+                      static_cast<unsigned long long>(id),
+                      result.error.c_str());
+          return 1;
+        }
+        run_seconds.push_back(result.seconds);
+      }
+    }
+    Row row;
+    row.lanes = lanes;
+    row.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    row.throughput = row.seconds > 0.0 ? jobs / row.seconds : 0.0;
+    std::sort(run_seconds.begin(), run_seconds.end());
+    const auto at = [&](double q) {
+      const std::size_t i = std::min(
+          run_seconds.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(run_seconds.size())));
+      return run_seconds[i];
+    };
+    row.p50 = at(0.50);
+    row.p95 = at(0.95);
+    rows.push_back(row);
+
+    benchutil::PerfRecord record;
+    record.bench = "bench_service";
+    record.config = strfmt("case%d/c%zu", case_id, lanes);
+    record.threads = pool;
+    record.seconds = row.seconds;
+    record.metrics = {{"lanes", static_cast<double>(lanes)},
+                      {"jobs", static_cast<double>(jobs)},
+                      {"throughput_jobs_per_s", row.throughput},
+                      {"p50_s", row.p50},
+                      {"p95_s", row.p95}};
+    record.counters = instrument::delta(before, instrument::snapshot());
+    benchutil::append_perf_record(record, "BENCH_service.json");
+  }
+
+  TextTable table({"lanes", "wall s", "jobs/s", "speedup", "p50 s", "p95 s"});
+  for (const Row& row : rows) {
+    table.add_row({cell_int(static_cast<int>(row.lanes)),
+                   strfmt("%.3f", row.seconds),
+                   strfmt("%.2f", row.throughput),
+                   strfmt("%.2fx", row.throughput / rows.front().throughput),
+                   strfmt("%.4f", row.p50), strfmt("%.4f", row.p95)});
+  }
+  std::printf("\n%s\n", table.str().c_str());
+
+  const double speedup4 = rows[1].throughput / rows[0].throughput;
+  if (hw >= 4 && pool >= 4) {
+    if (speedup4 < 2.0) {
+      std::printf("FAIL: aggregate throughput at 4 lanes is %.2fx the 1-lane "
+                  "baseline (need >= 2.0x on a >=4-core host)\n", speedup4);
+      return 1;
+    }
+    std::printf("OK: 4-lane aggregate throughput %.2fx >= 2.0x baseline\n",
+                speedup4);
+  } else {
+    std::printf("note: throughput self-check skipped (hardware %zu, pool %zu "
+                "— needs >= 4 of both); measured 4-lane speedup %.2fx\n",
+                hw, pool, speedup4);
+  }
+  return 0;
+}

@@ -5,11 +5,16 @@
 //
 // Defaults run a quick Problem-1 design of case 2 and print the outcome;
 // with --out the winning network is serialized for downstream tools.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "common/manifest.hpp"
 #include "common/strings.hpp"
+#include "common/task_context.hpp"
+#include "common/trace.hpp"
 #include "geom/problem_io.hpp"
 #include "opt/report.hpp"
 #include "opt/sa.hpp"
@@ -17,6 +22,16 @@
 namespace {
 
 using namespace lcn;
+
+// Ctrl-C requests cooperative cancellation through the same TaskContext flag
+// the service scheduler uses (DESIGN.md §S22): the SA unwinds at its next
+// iteration boundary instead of the process dying mid-write, so the trace
+// sink is flushed and a final manifest still comes out.
+std::atomic<bool> g_interrupted{false};
+
+void on_interrupt(int /*sig*/) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
 
 struct CliOptions {
   int case_id = 2;
@@ -95,8 +110,22 @@ int main(int argc, char** argv) {
                          : default_p1_stages(options.scale);
   std::printf("%s", format_stages(stages).c_str());
 
+  std::signal(SIGINT, on_interrupt);
+  std::signal(SIGTERM, on_interrupt);
+  TaskContext ctx;
+  ctx.cancel = &g_interrupted;
+  ScopedTaskContext scope(&ctx);
+
   TreeTopologyOptimizer optimizer(bench, options.objective, options.seed);
-  const DesignOutcome outcome = optimizer.run(stages);
+  DesignOutcome outcome;
+  try {
+    outcome = optimizer.run(stages);
+  } catch (const Cancelled&) {
+    if (trace::active()) trace::stop();  // drain rings, close the sink
+    std::fprintf(stderr, "interrupted: design cancelled cleanly\n");
+    std::printf("manifest: %s\n", run_manifest().json().c_str());
+    return 130;
+  }
   if (!outcome.feasible) {
     std::printf("result: infeasible (no design met the constraints)\n");
     return 1;

@@ -1,59 +1,16 @@
 #include "common/instrument.hpp"
 
-#include <atomic>
 #include <cmath>
 
 #include "common/strings.hpp"
+#include "common/task_context.hpp"
 
 namespace lcn::instrument {
 
 namespace {
 
-// The one list of counters; Counters, snapshot(), delta() and
-// snapshot_and_reset() are all generated from it so a new counter cannot be
-// added to one and forgotten in another.
-#define LCN_INSTRUMENT_COUNTERS(X) \
-  X(spmv_count)                    \
-  X(spmv_nnz)                      \
-  X(cg_solves)                     \
-  X(cg_iterations)                 \
-  X(bicgstab_solves)               \
-  X(bicgstab_iterations)           \
-  X(gmres_solves)                  \
-  X(gmres_iterations)              \
-  X(assemblies)                    \
-  X(assemblies_symbolic)           \
-  X(assemblies_refill)             \
-  X(workspace_reuses)              \
-  X(flow_plan_hits)                \
-  X(flow_plan_misses)              \
-  X(steady_solves)                 \
-  X(pressure_probes)               \
-  X(cache_hits)                    \
-  X(cache_misses)                  \
-  X(assembly_micros)               \
-  X(solve_micros)                  \
-  X(scenarios_evaluated)           \
-  X(scenarios_infeasible)          \
-  X(recovery_searches)             \
-  X(trace_events_emitted)          \
-  X(trace_events_dropped)          \
-  X(mg_vcycles)                    \
-  X(mg_coarse_solves)              \
-  X(fp32_inner_iters)              \
-  X(refinement_steps)              \
-  X(island_migrations)             \
-  X(pt_swaps)                      \
-  X(archive_inserts)
-
-struct Counters {
-#define LCN_INSTRUMENT_FIELD(name) std::atomic<std::uint64_t> name{0};
-  LCN_INSTRUMENT_COUNTERS(LCN_INSTRUMENT_FIELD)
-#undef LCN_INSTRUMENT_FIELD
-};
-
-Counters& counters() {
-  static Counters c;
+CounterShard& counters() {
+  static CounterShard c;
   return c;
 }
 
@@ -64,105 +21,100 @@ std::uint64_t micros(double seconds) {
                        : 0;
 }
 
+/// Bill the process-wide counters and, when the calling thread runs under a
+/// task context with a session shard, that shard too. The thread-local read
+/// costs ~the same as the relaxed add, keeping the per-kernel-invocation
+/// overhead contract of the header.
+void bump(std::atomic<std::uint64_t> CounterShard::*member, std::uint64_t v) {
+  (counters().*member).fetch_add(v, kRelaxed);
+  const TaskContext* ctx = current_task_context();
+  if (ctx != nullptr && ctx->counters != nullptr) {
+    (ctx->counters->*member).fetch_add(v, kRelaxed);
+  }
+}
+
 }  // namespace
 
 void add_spmv(std::uint64_t nnz) {
-  counters().spmv_count.fetch_add(1, kRelaxed);
-  counters().spmv_nnz.fetch_add(nnz, kRelaxed);
+  bump(&CounterShard::spmv_count, 1);
+  bump(&CounterShard::spmv_nnz, nnz);
 }
 
 void add_cg(std::uint64_t iterations) {
-  counters().cg_solves.fetch_add(1, kRelaxed);
-  counters().cg_iterations.fetch_add(iterations, kRelaxed);
+  bump(&CounterShard::cg_solves, 1);
+  bump(&CounterShard::cg_iterations, iterations);
 }
 
 void add_bicgstab(std::uint64_t iterations) {
-  counters().bicgstab_solves.fetch_add(1, kRelaxed);
-  counters().bicgstab_iterations.fetch_add(iterations, kRelaxed);
+  bump(&CounterShard::bicgstab_solves, 1);
+  bump(&CounterShard::bicgstab_iterations, iterations);
 }
 
 void add_gmres(std::uint64_t iterations) {
-  counters().gmres_solves.fetch_add(1, kRelaxed);
-  counters().gmres_iterations.fetch_add(iterations, kRelaxed);
+  bump(&CounterShard::gmres_solves, 1);
+  bump(&CounterShard::gmres_iterations, iterations);
 }
 
 void add_assembly(double seconds) {
-  counters().assemblies.fetch_add(1, kRelaxed);
-  counters().assembly_micros.fetch_add(micros(seconds), kRelaxed);
+  bump(&CounterShard::assemblies, 1);
+  bump(&CounterShard::assembly_micros, micros(seconds));
 }
 
-void add_assembly_symbolic() {
-  counters().assemblies_symbolic.fetch_add(1, kRelaxed);
-}
+void add_assembly_symbolic() { bump(&CounterShard::assemblies_symbolic, 1); }
 
-void add_assembly_refill() {
-  counters().assemblies_refill.fetch_add(1, kRelaxed);
-}
+void add_assembly_refill() { bump(&CounterShard::assemblies_refill, 1); }
 
-void add_workspace_reuse() {
-  counters().workspace_reuses.fetch_add(1, kRelaxed);
-}
+void add_workspace_reuse() { bump(&CounterShard::workspace_reuses, 1); }
 
-void add_flow_plan_hit() { counters().flow_plan_hits.fetch_add(1, kRelaxed); }
-void add_flow_plan_miss() {
-  counters().flow_plan_misses.fetch_add(1, kRelaxed);
-}
+void add_flow_plan_hit() { bump(&CounterShard::flow_plan_hits, 1); }
+void add_flow_plan_miss() { bump(&CounterShard::flow_plan_misses, 1); }
 
 void add_steady_solve(double seconds) {
-  counters().steady_solves.fetch_add(1, kRelaxed);
-  counters().solve_micros.fetch_add(micros(seconds), kRelaxed);
+  bump(&CounterShard::steady_solves, 1);
+  bump(&CounterShard::solve_micros, micros(seconds));
 }
 
-void add_pressure_probe() {
-  counters().pressure_probes.fetch_add(1, kRelaxed);
-}
+void add_pressure_probe() { bump(&CounterShard::pressure_probes, 1); }
 
-void add_cache_hit() { counters().cache_hits.fetch_add(1, kRelaxed); }
-void add_cache_miss() { counters().cache_misses.fetch_add(1, kRelaxed); }
+void add_cache_hit() { bump(&CounterShard::cache_hits, 1); }
+void add_cache_miss() { bump(&CounterShard::cache_misses, 1); }
 
-void add_scenario_evaluated() {
-  counters().scenarios_evaluated.fetch_add(1, kRelaxed);
-}
-void add_scenario_infeasible() {
-  counters().scenarios_infeasible.fetch_add(1, kRelaxed);
-}
-void add_recovery_search() {
-  counters().recovery_searches.fetch_add(1, kRelaxed);
-}
+void add_scenario_evaluated() { bump(&CounterShard::scenarios_evaluated, 1); }
+void add_scenario_infeasible() { bump(&CounterShard::scenarios_infeasible, 1); }
+void add_recovery_search() { bump(&CounterShard::recovery_searches, 1); }
 
-void add_trace_event() {
-  counters().trace_events_emitted.fetch_add(1, kRelaxed);
-}
-void add_trace_drop() {
-  counters().trace_events_dropped.fetch_add(1, kRelaxed);
-}
+void add_trace_event() { bump(&CounterShard::trace_events_emitted, 1); }
+void add_trace_drop() { bump(&CounterShard::trace_events_dropped, 1); }
 
-void add_mg_vcycle() { counters().mg_vcycles.fetch_add(1, kRelaxed); }
-void add_mg_coarse_solve() {
-  counters().mg_coarse_solves.fetch_add(1, kRelaxed);
-}
+void add_mg_vcycle() { bump(&CounterShard::mg_vcycles, 1); }
+void add_mg_coarse_solve() { bump(&CounterShard::mg_coarse_solves, 1); }
 void add_fp32_inner(std::uint64_t iterations) {
-  counters().fp32_inner_iters.fetch_add(iterations, kRelaxed);
+  bump(&CounterShard::fp32_inner_iters, iterations);
 }
-void add_refinement_step() {
-  counters().refinement_steps.fetch_add(1, kRelaxed);
-}
-void add_island_migration() {
-  counters().island_migrations.fetch_add(1, kRelaxed);
-}
-void add_pt_swap() { counters().pt_swaps.fetch_add(1, kRelaxed); }
-void add_archive_insert() {
-  counters().archive_inserts.fetch_add(1, kRelaxed);
-}
+void add_refinement_step() { bump(&CounterShard::refinement_steps, 1); }
+void add_island_migration() { bump(&CounterShard::island_migrations, 1); }
+void add_pt_swap() { bump(&CounterShard::pt_swaps, 1); }
+void add_archive_insert() { bump(&CounterShard::archive_inserts, 1); }
+void add_job_completed() { bump(&CounterShard::jobs_completed, 1); }
+void add_job_cancelled() { bump(&CounterShard::jobs_cancelled, 1); }
 
-Snapshot snapshot() {
-  const Counters& c = counters();
+Snapshot CounterShard::snapshot() const {
   Snapshot s;
-#define LCN_INSTRUMENT_LOAD(name) s.name = c.name.load(kRelaxed);
+#define LCN_INSTRUMENT_LOAD(name) s.name = name.load(kRelaxed);
   LCN_INSTRUMENT_COUNTERS(LCN_INSTRUMENT_LOAD)
 #undef LCN_INSTRUMENT_LOAD
   return s;
 }
+
+Snapshot CounterShard::snapshot_and_reset() {
+  Snapshot s;
+#define LCN_INSTRUMENT_DRAIN(name) s.name = name.exchange(0, kRelaxed);
+  LCN_INSTRUMENT_COUNTERS(LCN_INSTRUMENT_DRAIN)
+#undef LCN_INSTRUMENT_DRAIN
+  return s;
+}
+
+Snapshot snapshot() { return counters().snapshot(); }
 
 Snapshot delta(const Snapshot& before, const Snapshot& after) {
   Snapshot d;
@@ -172,14 +124,7 @@ Snapshot delta(const Snapshot& before, const Snapshot& after) {
   return d;
 }
 
-Snapshot snapshot_and_reset() {
-  Counters& c = counters();
-  Snapshot s;
-#define LCN_INSTRUMENT_DRAIN(name) s.name = c.name.exchange(0, kRelaxed);
-  LCN_INSTRUMENT_COUNTERS(LCN_INSTRUMENT_DRAIN)
-#undef LCN_INSTRUMENT_DRAIN
-  return s;
-}
+Snapshot snapshot_and_reset() { return counters().snapshot_and_reset(); }
 
 void reset() { (void)snapshot_and_reset(); }
 
@@ -207,7 +152,8 @@ std::string Snapshot::json() const {
       "\"mg_vcycles\":%llu,\"mg_coarse_solves\":%llu,"
       "\"fp32_inner_iters\":%llu,\"refinement_steps\":%llu,"
       "\"island_migrations\":%llu,\"pt_swaps\":%llu,"
-      "\"archive_inserts\":%llu}",
+      "\"archive_inserts\":%llu,"
+      "\"jobs_completed\":%llu,\"jobs_cancelled\":%llu}",
       static_cast<unsigned long long>(spmv_count),
       static_cast<unsigned long long>(spmv_nnz),
       static_cast<unsigned long long>(cg_solves),
@@ -238,7 +184,9 @@ std::string Snapshot::json() const {
       static_cast<unsigned long long>(refinement_steps),
       static_cast<unsigned long long>(island_migrations),
       static_cast<unsigned long long>(pt_swaps),
-      static_cast<unsigned long long>(archive_inserts));
+      static_cast<unsigned long long>(archive_inserts),
+      static_cast<unsigned long long>(jobs_completed),
+      static_cast<unsigned long long>(jobs_cancelled));
 }
 
 }  // namespace lcn::instrument

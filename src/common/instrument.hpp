@@ -1,4 +1,4 @@
-// Lightweight process-wide solver instrumentation (DESIGN.md §S1).
+// Lightweight solver instrumentation (DESIGN.md §S1, sharded in §S22).
 //
 // The hot numerical paths (SpMV, Krylov solvers, 4RM/2RM assembly, the SA
 // evaluator cache) bump relaxed atomic counters; benches snapshot them and
@@ -6,12 +6,59 @@
 // the perf trajectory of serial vs parallel configurations is tracked over
 // time. Counting costs one relaxed atomic add per *kernel invocation* (not
 // per element), so the overhead is far below measurement noise.
+//
+// Multi-tenant sharding (§S22): every add_* always bills the process-wide
+// counters, and *additionally* bills the CounterShard of the task context
+// installed on the calling thread (common/task_context.hpp), when one is.
+// A session's shard therefore accounts exactly the work its own job
+// performed — on whichever pool threads it ran — while the global counters
+// keep their historical whole-process meaning.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace lcn::instrument {
+
+// The one list of counters; CounterShard, Snapshot conversions and the JSON
+// rendering are all generated from it so a new counter cannot be added to
+// one and forgotten in another.
+#define LCN_INSTRUMENT_COUNTERS(X) \
+  X(spmv_count)                    \
+  X(spmv_nnz)                      \
+  X(cg_solves)                     \
+  X(cg_iterations)                 \
+  X(bicgstab_solves)               \
+  X(bicgstab_iterations)           \
+  X(gmres_solves)                  \
+  X(gmres_iterations)              \
+  X(assemblies)                    \
+  X(assemblies_symbolic)           \
+  X(assemblies_refill)             \
+  X(workspace_reuses)              \
+  X(flow_plan_hits)                \
+  X(flow_plan_misses)              \
+  X(steady_solves)                 \
+  X(pressure_probes)               \
+  X(cache_hits)                    \
+  X(cache_misses)                  \
+  X(assembly_micros)               \
+  X(solve_micros)                  \
+  X(scenarios_evaluated)           \
+  X(scenarios_infeasible)          \
+  X(recovery_searches)             \
+  X(trace_events_emitted)          \
+  X(trace_events_dropped)          \
+  X(mg_vcycles)                    \
+  X(mg_coarse_solves)              \
+  X(fp32_inner_iters)              \
+  X(refinement_steps)              \
+  X(island_migrations)             \
+  X(pt_swaps)                      \
+  X(archive_inserts)               \
+  X(jobs_completed)                \
+  X(jobs_cancelled)
 
 /// Point-in-time copy of every counter. `json()` renders a flat JSON object
 /// (the "counters" field of the BENCH_parallel.json schema, README §Bench).
@@ -48,9 +95,26 @@ struct Snapshot {
   std::uint64_t island_migrations = 0;     ///< accepted island best-design moves
   std::uint64_t pt_swaps = 0;              ///< accepted parallel-tempering swaps
   std::uint64_t archive_inserts = 0;       ///< Pareto-archive frontier entries
+  std::uint64_t jobs_completed = 0;        ///< scheduler jobs run to completion
+  std::uint64_t jobs_cancelled = 0;        ///< scheduler jobs cancelled/timed out
 
   double cache_hit_rate() const;
   std::string json() const;
+};
+
+/// One independent set of counters. The process-wide counters are one of
+/// these; each service session (§S22) owns another, billed in addition to
+/// the global one by every add_* performed under its task context.
+struct CounterShard {
+#define LCN_INSTRUMENT_SHARD_FIELD(name) std::atomic<std::uint64_t> name{0};
+  LCN_INSTRUMENT_COUNTERS(LCN_INSTRUMENT_SHARD_FIELD)
+#undef LCN_INSTRUMENT_SHARD_FIELD
+
+  /// Point-in-time copy (relaxed loads, same semantics as snapshot()).
+  Snapshot snapshot() const;
+  /// Race-clean drain: exchange-based, same contract as snapshot_and_reset().
+  Snapshot snapshot_and_reset();
+  void reset() { (void)snapshot_and_reset(); }
 };
 
 void add_spmv(std::uint64_t nnz);
@@ -79,6 +143,8 @@ void add_refinement_step();
 void add_island_migration();
 void add_pt_swap();
 void add_archive_insert();
+void add_job_completed();
+void add_job_cancelled();
 
 Snapshot snapshot();
 /// Difference of two snapshots (per-phase accounting in benches). This is

@@ -1,0 +1,33 @@
+#include "common/task_context.hpp"
+
+namespace lcn {
+
+namespace {
+thread_local const TaskContext* t_context = nullptr;
+}  // namespace
+
+const TaskContext* current_task_context() { return t_context; }
+
+ScopedTaskContext::ScopedTaskContext(const TaskContext* ctx)
+    : previous_(t_context) {
+  t_context = ctx;
+}
+
+ScopedTaskContext::~ScopedTaskContext() { t_context = previous_; }
+
+bool task_cancelled() {
+  const TaskContext* ctx = t_context;
+  return ctx != nullptr && ctx->cancel != nullptr &&
+         ctx->cancel->load(std::memory_order_relaxed);
+}
+
+void throw_if_cancelled() {
+  if (task_cancelled()) throw Cancelled("job cancelled");
+}
+
+ProgressSink* task_progress_sink() {
+  const TaskContext* ctx = t_context;
+  return ctx != nullptr ? ctx->progress : nullptr;
+}
+
+}  // namespace lcn

@@ -1,10 +1,12 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
 
 #include "common/env.hpp"
+#include "common/task_context.hpp"
 
 namespace lcn {
 
@@ -50,9 +52,12 @@ thread_local bool t_in_task = false;
 // that dequeue after the caller has already finished stay valid.
 struct ForState {
   explicit ForState(std::size_t n, std::function<void(std::size_t)> f)
-      : count(n), fn(std::move(f)) {}
+      : count(n), fn(std::move(f)), context(current_task_context()) {}
   const std::size_t count;
   const std::function<void(std::size_t)> fn;
+  /// The submitter's task context, re-installed on every draining worker so
+  /// counters/cancellation/progress follow the job across the pool.
+  const TaskContext* const context;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::exception_ptr first_error;
@@ -63,6 +68,7 @@ struct ForState {
   void drain() {
     const bool was_in_task = t_in_task;
     t_in_task = true;
+    ScopedTaskContext scope(context);
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= count) {
@@ -97,7 +103,22 @@ void ThreadPool::parallel_for(std::size_t count,
   }
 
   auto state = std::make_shared<ForState>(count, fn);
-  const std::size_t shards = std::min(workers_.size(), count);
+  std::size_t width = workers_.size();
+  // Fair-share cap (§S22): a job running under a scheduler-assigned share
+  // fans out over at most `share` workers, the submitting thread included,
+  // so concurrent jobs split the pool instead of each flooding the queue.
+  // The share is read per call — the scheduler rebalances running jobs live.
+  if (state->context != nullptr && state->context->pool_share != nullptr) {
+    const std::size_t share =
+        state->context->pool_share->load(std::memory_order_relaxed);
+    if (share > 0) width = std::min(width, share);
+  }
+  if (width <= 1) {
+    state->drain();  // degenerate share: stay on the submitting thread
+    if (state->first_error) std::rethrow_exception(state->first_error);
+    return;
+  }
+  const std::size_t shards = std::min(width, count);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t s = 0; s + 1 < shards; ++s) {

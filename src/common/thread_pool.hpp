@@ -3,6 +3,16 @@
 // The paper evaluates 64 SA neighbors simultaneously on an 80-core server;
 // we reproduce the structure with a pool sized to the host (or to the
 // LCN_THREADS env knob) so schedules stay identical regardless of core count.
+//
+// Share-aware submission (DESIGN.md §S22): parallel_for captures the
+// submitting thread's TaskContext (common/task_context.hpp) and re-installs
+// it on every worker that drains the call's shards, so per-session counters,
+// cancellation and progress streaming follow the job across the pool. When
+// the context carries a pool_share, the call fans out over at most that many
+// workers (submitter included) — the fair-share scheduler's mechanism for
+// letting K concurrent jobs coexist on one pool without any of them hogging
+// the queue. Work distribution never affects results (the §S1 contract), so
+// a job's output is bit-identical at any share width.
 #pragma once
 
 #include <condition_variable>

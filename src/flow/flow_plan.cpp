@@ -1,12 +1,10 @@
 #include "flow/flow_plan.hpp"
 
-#include <mutex>
 #include <queue>
-#include <unordered_map>
-#include <utility>
 
 #include "common/assert.hpp"
 #include "common/instrument.hpp"
+#include "common/task_context.hpp"
 
 namespace lcn {
 
@@ -99,31 +97,13 @@ std::shared_ptr<const FlowPlan> FlowPlan::analyze(const CoolingNetwork& net) {
   return plan;
 }
 
-namespace {
-
-struct FlowPlanCache {
-  std::mutex mutex;
-  /// Hash bucket -> (network copy, plan). The copy disambiguates collisions.
-  std::unordered_map<std::uint64_t,
-                     std::vector<std::pair<CoolingNetwork,
-                                           std::shared_ptr<const FlowPlan>>>>
-      entries;
-};
-
-FlowPlanCache& plan_cache() {
-  static FlowPlanCache cache;
-  return cache;
-}
-
-}  // namespace
-
-std::shared_ptr<const FlowPlan> flow_plan_for(const CoolingNetwork& net) {
-  FlowPlanCache& cache = plan_cache();
+std::shared_ptr<const FlowPlan> FlowPlanCache::plan_for(
+    const CoolingNetwork& net) {
   const std::uint64_t key = net.content_hash();
   {
-    std::lock_guard<std::mutex> lock(cache.mutex);
-    const auto it = cache.entries.find(key);
-    if (it != cache.entries.end()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
       for (const auto& [stored, plan] : it->second) {
         if (stored == net) {
           instrument::add_flow_plan_hit();
@@ -137,8 +117,8 @@ std::shared_ptr<const FlowPlan> flow_plan_for(const CoolingNetwork& net) {
   // and a throwing analysis leaves the cache untouched.
   std::shared_ptr<const FlowPlan> plan = FlowPlan::analyze(net);
   {
-    std::lock_guard<std::mutex> lock(cache.mutex);
-    auto& bucket = cache.entries[key];
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& bucket = entries_[key];
     for (const auto& [stored, existing] : bucket) {
       if (stored == net) return existing;  // lost a benign race; reuse theirs
     }
@@ -147,10 +127,38 @@ std::shared_ptr<const FlowPlan> flow_plan_for(const CoolingNetwork& net) {
   return plan;
 }
 
-void flow_plan_cache_clear() {
-  FlowPlanCache& cache = plan_cache();
-  std::lock_guard<std::mutex> lock(cache.mutex);
-  cache.entries.clear();
+void FlowPlanCache::clear() {
+  // Move the map out under the lock and destroy it after releasing: entry
+  // destruction (network copies, plan refcounts) happens off the hot path,
+  // and a concurrent plan_for() blocks only for the swap. Readers that
+  // already resolved a plan keep it alive through their shared_ptr.
+  decltype(entries_) doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    doomed.swap(entries_);
+  }
 }
+
+std::size_t FlowPlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [key, bucket] : entries_) n += bucket.size();
+  return n;
+}
+
+FlowPlanCache& global_flow_plan_cache() {
+  static FlowPlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const FlowPlan> flow_plan_for(const CoolingNetwork& net) {
+  const TaskContext* ctx = current_task_context();
+  FlowPlanCache& cache = ctx != nullptr && ctx->flow_plans != nullptr
+                             ? *ctx->flow_plans
+                             : global_flow_plan_cache();
+  return cache.plan_for(net);
+}
+
+void flow_plan_cache_clear() { global_flow_plan_cache().clear(); }
 
 }  // namespace lcn

@@ -9,6 +9,7 @@
 #include "common/instrument.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "common/task_context.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
@@ -90,6 +91,11 @@ IslandOutcome IslandEngine::run(const std::vector<SaStage>& stages) {
   const int K = options_.islands;
   const bool migrate = K > 1 && options_.migration_period > 0;
   const bool temper = K > 1 && options_.tempering;
+
+  // Per-session progress stream (§S22): when the job runs under a service
+  // session with a sink, every sa_iter record is mirrored there — whether or
+  // not process-wide tracing is on — so daemon clients see live convergence.
+  ProgressSink* const progress = task_progress_sink();
 
   trace::Span run_span("sa_run");
   if (run_span.active()) {
@@ -346,14 +352,18 @@ IslandOutcome IslandEngine::run(const std::vector<SaStage>& stages) {
       }
 
       for (int iter = 0; iter < stage.iterations; ++iter) {
+        // Cooperative cancellation (§S22): checked once per lockstep
+        // iteration on the coordinating thread, between pool passes, so a
+        // cancelled job unwinds cleanly without observing partial pools.
+        throw_if_cancelled();
         const bool leader =
             stage.group_size <= 1 || iter % stage.group_size == 0;
+        const bool want_iter = trace::enabled() || progress != nullptr;
         // Progress-stream bookkeeping: pressure probes consumed by this
-        // iteration alone (single-chain trace only; with K>1 islands share
+        // iteration alone (single-chain records only; with K>1 islands share
         // one pool pass, so per-island attribution would be fiction).
         const std::uint64_t probes_before =
-            trace::enabled() && K == 1 ? instrument::snapshot().pressure_probes
-                                       : 0;
+            want_iter && K == 1 ? instrument::snapshot().pressure_probes : 0;
 
         // Generate and score every island's neighbor pool in one parallel
         // pass (the paper scores 64 neighbors at once on an 80-core server;
@@ -410,12 +420,15 @@ IslandOutcome IslandEngine::run(const std::vector<SaStage>& stages) {
           for (std::size_t k = base; k < base + width; ++k) {
             archive_add(designs[k], scores[k], stage.name.c_str());
           }
-          if (trace::enabled()) {
+          if (want_iter) {
+            // One record per (island,) iteration, built once and mirrored to
+            // both consumers: the process-wide trace sink (§S19) and the
+            // session's progress stream (§S22) when one is installed.
+            std::string args;
             if (K == 1) {
-              // One record per SA iteration: where the anneal is
-              // (temperature, acceptance), what it sees (scores), and what
-              // it cost (cache hit rate so far, pressure probes this
-              // iteration).
+              // Where the anneal is (temperature, acceptance), what it sees
+              // (scores), and what it cost (cache hit rate so far, pressure
+              // probes this iteration).
               const std::uint64_t hits = opt_.cache_.hits();
               const std::uint64_t misses = opt_.cache_.misses();
               const double lookups = static_cast<double>(hits + misses);
@@ -423,33 +436,32 @@ IslandOutcome IslandEngine::run(const std::vector<SaStage>& stages) {
                   lookups > 0.0 ? static_cast<double>(hits) / lookups : 0.0;
               const std::uint64_t probes =
                   instrument::snapshot().pressure_probes - probes_before;
-              trace::emit_instant(
-                  "sa_iter", trace::kCoarse,
-                  strfmt("\"stage\":\"%s\",\"round\":%d,\"iter\":%d,"
-                         "\"temperature\":%.6g,\"current\":%.9g,"
-                         "\"candidate\":%.9g,\"best\":%.9g,\"accepted\":%s,"
-                         "\"accept_rate\":%.4f,\"cache_hit_rate\":%.4f,"
-                         "\"probes\":%llu",
-                         stage.name.c_str(), round, iter, cr.temperature,
-                         cr.state_score, candidate, cr.best.score,
-                         accept ? "true" : "false",
-                         static_cast<double>(cr.accepted) / (iter + 1),
-                         hit_rate, static_cast<unsigned long long>(probes))
-                      .c_str());
+              args = strfmt(
+                  "\"stage\":\"%s\",\"round\":%d,\"iter\":%d,"
+                  "\"temperature\":%.6g,\"current\":%.9g,"
+                  "\"candidate\":%.9g,\"best\":%.9g,\"accepted\":%s,"
+                  "\"accept_rate\":%.4f,\"cache_hit_rate\":%.4f,"
+                  "\"probes\":%llu",
+                  stage.name.c_str(), round, iter, cr.temperature,
+                  cr.state_score, candidate, cr.best.score,
+                  accept ? "true" : "false",
+                  static_cast<double>(cr.accepted) / (iter + 1), hit_rate,
+                  static_cast<unsigned long long>(probes));
             } else {
-              // Per-island variant: one record per (island, iteration). The
-              // aggregate cost fields are dropped — they are population-wide
-              // and live in the instrument counters.
-              trace::emit_instant(
-                  "sa_iter", trace::kCoarse,
-                  strfmt("\"stage\":\"%s\",\"island\":%d,\"round\":%d,"
-                         "\"iter\":%d,\"temperature\":%.6g,\"current\":%.9g,"
-                         "\"candidate\":%.9g,\"best\":%.9g,\"accepted\":%s",
-                         stage.name.c_str(), i, round, iter, cr.temperature,
-                         cr.state_score, candidate, cr.best.score,
-                         accept ? "true" : "false")
-                      .c_str());
+              // Per-island variant. The aggregate cost fields are dropped —
+              // they are population-wide and live in the instrument counters.
+              args = strfmt(
+                  "\"stage\":\"%s\",\"island\":%d,\"round\":%d,"
+                  "\"iter\":%d,\"temperature\":%.6g,\"current\":%.9g,"
+                  "\"candidate\":%.9g,\"best\":%.9g,\"accepted\":%s",
+                  stage.name.c_str(), i, round, iter, cr.temperature,
+                  cr.state_score, candidate, cr.best.score,
+                  accept ? "true" : "false");
             }
+            if (trace::enabled()) {
+              trace::emit_instant("sa_iter", trace::kCoarse, args.c_str());
+            }
+            if (progress != nullptr) progress->emit("sa_iter", args.c_str());
           }
           cr.temperature *= alpha;
         }
@@ -524,6 +536,7 @@ IslandOutcome IslandEngine::run(const std::vector<SaStage>& stages) {
                                     ? stages[stage_idx + 1].sim
                                     : stage.sim;
     for (int i = 0; i < K; ++i) {
+      throw_if_cancelled();
       TreeLayout& incumbent = isl[static_cast<std::size_t>(i)].incumbent;
       double best_score = kInf;
       TreeLayout best_layout = incumbent;
@@ -562,6 +575,7 @@ IslandOutcome IslandEngine::run(const std::vector<SaStage>& stages) {
   CoolingNetwork best_network;
   EvalResult best_eval;
   for (int i = 0; i < K; ++i) {
+    throw_if_cancelled();
     std::optional<trace::Span> island_span;
     if (K > 1) island_span.emplace("sa_island");
     const CoolingNetwork net =

@@ -7,6 +7,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/log.hpp"
+#include "common/task_context.hpp"
 #include "common/trace.hpp"
 #include "network/design_rules.hpp"
 #include "opt/islands.hpp"
@@ -171,6 +172,7 @@ int TreeTopologyOptimizer::pick_direction(const TreeLayout& probe_layout,
   double best_score = kInf;
   int best_dir = 0;
   for (int dir = 0; dir < D4Transform::kCount; ++dir) {
+    throw_if_cancelled();
     const EvalResult result =
         evaluate_network(realize(probe_layout, dir), sim);
     if (evaluations != nullptr) ++*evaluations;

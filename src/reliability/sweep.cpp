@@ -6,6 +6,7 @@
 
 #include "common/instrument.hpp"
 #include "common/strings.hpp"
+#include "common/task_context.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
@@ -121,6 +122,10 @@ SweepReport run_sweep(const CoolingProblem& problem,
   // statistic reduced from it below in index order — is bit-identical at any
   // thread count.
   global_pool().parallel_for(n, [&](std::size_t k) {
+    // Cooperative cancellation (§S22): a cancelled sweep's report is
+    // discarded wholesale, so short-circuiting remaining scenarios here
+    // cannot leak a partial statistic.
+    throw_if_cancelled();
     LCN_TRACE_SPAN_FINE("fault_scenario");
     Rng rng = scenario_rng(options.seed, k);
     const FaultScenario scenario =

@@ -1,0 +1,86 @@
+// The lcn_serve daemon (DESIGN.md §S22, layer 3 of the serving stack).
+//
+// Speaks the newline-delimited JSON protocol (service/protocol.hpp) over a
+// Unix-domain or loopback TCP socket. One reader thread per connection;
+// writes to a connection are serialized by a per-connection mutex so
+// progress events from pool threads never interleave mid-line with
+// request/response traffic.
+//
+// Address syntax (LCN_SERVE_ADDR or ServerOptions::address):
+//   unix:/path/to.sock      Unix-domain stream socket (path unlinked first)
+//   tcp:host:port           loopback/TCP; port 0 binds an ephemeral port
+// Default: tcp:127.0.0.1:7733.
+//
+// Shutdown: request_shutdown() (wired to SIGTERM/SIGINT by lcn_serve) stops
+// the accept loop; run() then drains the scheduler — running and queued jobs
+// finish, their final results are still delivered to streaming clients —
+// before closing connections and returning.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/scheduler.hpp"
+
+namespace lcn::service {
+
+struct ServerOptions {
+  /// "" resolves LCN_SERVE_ADDR, then the default loopback address.
+  std::string address;
+  /// Scheduler lanes (0 = Scheduler default).
+  std::size_t max_running = 0;
+};
+
+class Server {
+ public:
+  /// Binds and listens; throws lcn::RuntimeError when the address cannot be
+  /// parsed or bound.
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound address in the same syntax as the input, with the actual port
+  /// substituted for tcp:...:0.
+  const std::string& address() const { return address_; }
+
+  /// Accept/serve until request_shutdown(), then drain and return.
+  void run();
+
+  /// Async-signal-safe shutdown request (sets an atomic; run() polls it).
+  void request_shutdown() { shutdown_.store(true, std::memory_order_relaxed); }
+
+  Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  struct Connection;
+  class StreamSink;
+
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  /// Handle one request line; returns false when the connection should close.
+  bool handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line);
+
+  Scheduler scheduler_;
+  std::string address_;
+  int listen_fd_ = -1;
+  std::string unix_path_;  ///< unlink target for unix sockets, "" otherwise
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex mutex_;  ///< guards connections_ and sinks_
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> threads_;
+  /// Sinks for streaming jobs, keyed by job id. Kept until shutdown: a
+  /// running job may emit into its sink long after the client disconnected
+  /// (the sink then writes into a closed connection, which is a no-op).
+  std::map<std::uint64_t, std::unique_ptr<StreamSink>> sinks_;
+};
+
+}  // namespace lcn::service
