@@ -1,6 +1,7 @@
 #include "service/json.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -56,6 +57,30 @@ long JsonObject::get_int(const std::string& key, long fallback) const {
 bool JsonObject::get_bool(const std::string& key, bool fallback) const {
   const auto it = bools.find(key);
   return it != bools.end() ? it->second : fallback;
+}
+
+JsonObject::IntStatus JsonObject::get_uint64(const std::string& key,
+                                             std::uint64_t& out) const {
+  const auto it = number_tokens.find(key);
+  if (it == number_tokens.end()) return IntStatus::kMissing;
+  const std::string& token = it->second;
+  std::size_t start = 0;
+  if (start < token.size() && token[start] == '+') ++start;
+  if (start >= token.size()) return IntStatus::kBad;
+  for (std::size_t i = start; i < token.size(); ++i) {
+    // Rejects '-', '.', and exponents: negative seeds must not wrap and
+    // fractional values must not silently truncate.
+    if (token[i] < '0' || token[i] > '9') return IntStatus::kBad;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value =
+      std::strtoull(token.c_str() + start, &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') {
+    return IntStatus::kBad;
+  }
+  out = static_cast<std::uint64_t>(value);
+  return IntStatus::kOk;
 }
 
 namespace {
@@ -228,9 +253,11 @@ bool parse_json_object(const std::string& text, JsonObject& out,
       error = "nested containers are not allowed in requests";
       return false;
     } else {
+      const std::size_t token_start = cur.i;
       double value = 0.0;
       if (!parse_number(cur, value, error)) return false;
       out.numbers[key] = value;
+      out.number_tokens[key] = text.substr(token_start, cur.i - token_start);
     }
     cur.skip_ws();
     if (cur.consume(',')) continue;

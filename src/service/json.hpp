@@ -7,6 +7,7 @@
 // are composed from fragments that are already valid JSON.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -22,6 +23,10 @@ std::string json_escape(const std::string& text);
 struct JsonObject {
   std::map<std::string, std::string> strings;
   std::map<std::string, double> numbers;
+  /// Raw source text of each number, keyed like `numbers`. Doubles only
+  /// round-trip integers up to 2^53, so exact integer fields (seeds, job
+  /// ids) re-parse from here instead of casting the double.
+  std::map<std::string, std::string> number_tokens;
   std::map<std::string, bool> bools;
 
   bool has(const std::string& key) const;
@@ -30,6 +35,14 @@ struct JsonObject {
   double get_number(const std::string& key, double fallback = 0.0) const;
   long get_int(const std::string& key, long fallback = 0) const;
   bool get_bool(const std::string& key, bool fallback = false) const;
+
+  enum class IntStatus {
+    kMissing,  ///< field absent (caller applies its default)
+    kOk,       ///< out holds the exact value
+    kBad       ///< present but negative, fractional, or > UINT64_MAX
+  };
+  /// Exact unsigned 64-bit integer parsed from the raw token.
+  IntStatus get_uint64(const std::string& key, std::uint64_t& out) const;
 };
 
 /// Parse one flat JSON object. Returns false (with `error` set) on malformed

@@ -39,7 +39,15 @@ bool parse_submit(const JsonObject& obj, JobRequest& job, std::string& error) {
     error = "scale must be positive";
     return false;
   }
-  job.seed = static_cast<std::uint64_t>(obj.get_int("seed", 1));
+  // Seeds are part of the reproducibility contract (the manifest records the
+  // exact value), so they must not round through the parsed double.
+  switch (obj.get_uint64("seed", job.seed)) {
+    case JsonObject::IntStatus::kMissing: job.seed = 1; break;
+    case JsonObject::IntStatus::kOk: break;
+    case JsonObject::IntStatus::kBad:
+      error = "seed must be a non-negative integer below 2^64";
+      return false;
+  }
   job.b1 = static_cast<int>(obj.get_int("b1", -1));
   job.b2 = static_cast<int>(obj.get_int("b2", -1));
   job.direction = static_cast<int>(obj.get_int("direction", 0));
@@ -85,12 +93,12 @@ bool parse_request(const std::string& line, Request& out, std::string& error) {
     out.op = op == "status"  ? Request::Op::kStatus
              : op == "result" ? Request::Op::kResult
                               : Request::Op::kCancel;
-    const long id = obj.get_int("job", 0);
-    if (id <= 0) {
+    std::uint64_t id = 0;
+    if (obj.get_uint64("job", id) != JsonObject::IntStatus::kOk || id == 0) {
       error = "missing or invalid 'job'";
       return false;
     }
-    out.job_id = static_cast<std::uint64_t>(id);
+    out.job_id = id;
     return true;
   }
   if (op == "list") {

@@ -87,6 +87,8 @@ struct Scheduler::Job {
 
 Scheduler::Scheduler(Options options) {
   pool_width_ = std::max<std::size_t>(1, global_pool_threads());
+  retain_jobs_ = static_cast<std::size_t>(
+      std::max(1L, env_int("LCN_JOB_HISTORY", 1024)));
   const auto hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   max_running_ =
       options.max_running != 0
@@ -124,6 +126,7 @@ Scheduler::~Scheduler() {
   }
   work_cv_.notify_all();
   done_cv_.notify_all();
+  watchdog_cv_.notify_all();
   for (std::thread& t : runners_) t.join();
   if (watchdog_.joinable()) watchdog_.join();
 }
@@ -139,6 +142,7 @@ std::uint64_t Scheduler::submit(JobRequest request, ProgressSink* sink) {
   if (sink != nullptr) sink->bind_job(id);
   jobs_.emplace(id, std::move(job));
   queue_.push_back(id);
+  gc_terminal_locked();
   work_cv_.notify_one();
   return id;
 }
@@ -228,6 +232,24 @@ Scheduler::Job* Scheduler::find_locked(std::uint64_t id) const {
   return it != jobs_.end() ? it->second.get() : nullptr;
 }
 
+void Scheduler::gc_terminal_locked() {
+  // A long-running daemon would otherwise accumulate one Job record per
+  // submission forever. Clients read results promptly (wait(), the streamed
+  // result line, or a 'result' query), so retiring the oldest terminal
+  // entries past the LCN_JOB_HISTORY cap only drops stale history; queued
+  // and running jobs are never touched.
+  if (jobs_.size() <= retain_jobs_) return;
+  std::size_t excess = jobs_.size() - retain_jobs_;
+  for (auto it = jobs_.begin(); it != jobs_.end() && excess > 0;) {
+    if (job_status_terminal(it->second->status)) {
+      it = jobs_.erase(it);
+      --excess;
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Scheduler::rebalance_locked() {
   // Weighted fair share of the pool width over running jobs (§S22):
   // share_i = max(1, W * weight_i / total_weight). Shares are advisory caps
@@ -308,10 +330,12 @@ void Scheduler::runner_loop() {
 
 void Scheduler::watchdog_loop() {
   // Deadline monitor: a coarse 50 ms scan is plenty — deadlines are
-  // second-scale and cancellation is cooperative anyway.
+  // second-scale and cancellation is cooperative anyway. It waits on its own
+  // condition variable: sharing work_cv_ would let the watchdog swallow a
+  // submit()'s notify_one and leave a queued job with no runner awake.
   std::unique_lock<std::mutex> lock(mutex_);
   while (!stop_) {
-    work_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    watchdog_cv_.wait_for(lock, std::chrono::milliseconds(50));
     if (stop_) return;
     const auto now = Clock::now();
     for (auto& [id, job] : jobs_) {
@@ -334,6 +358,10 @@ void Scheduler::execute(Job& job) {
   WallTimer timer;
   JobStatus final_status = JobStatus::kDone;
   std::string error;
+  // Accumulate into a local result and publish it into job.result only under
+  // mutex_ at the end: connection threads may copy job.result via result()
+  // at any time while the job runs, so unlocked writes would race.
+  JobResult local;
 
   if (job.sink != nullptr) {
     job.sink->emit("job_started",
@@ -361,11 +389,11 @@ void Scheduler::execute(Job& job) {
                             : p2 ? default_p2_stages(req.scale)
                                  : default_p1_stages(req.scale);
         const DesignOutcome outcome = optimizer.run(stages);
-        fill_eval_fields(job.result, outcome.eval);
-        job.result.direction = outcome.direction;
-        job.result.design_hash = outcome.network.content_hash();
-        job.result.network_text = outcome.network.to_text();
-        job.result.evaluations = outcome.evaluations;
+        fill_eval_fields(local, outcome.eval);
+        local.direction = outcome.direction;
+        local.design_hash = outcome.network.content_hash();
+        local.network_text = outcome.network.to_text();
+        local.evaluations = outcome.evaluations;
         break;
       }
       case JobKind::kEvaluate: {
@@ -373,10 +401,10 @@ void Scheduler::execute(Job& job) {
             default_layout(bench.problem.grid, req.b1, req.b2);
         const CoolingNetwork net = optimizer.realize(layout, req.direction);
         const EvalResult eval = optimizer.evaluate_network(net, req.sim);
-        fill_eval_fields(job.result, eval);
-        job.result.direction = req.direction;
-        job.result.design_hash = net.content_hash();
-        job.result.evaluations = 1;
+        fill_eval_fields(local, eval);
+        local.direction = req.direction;
+        local.design_hash = net.content_hash();
+        local.evaluations = 1;
         break;
       }
       case JobKind::kSweep: {
@@ -387,9 +415,9 @@ void Scheduler::execute(Job& job) {
         if (!nominal.feasible) {
           throw RuntimeError("sweep: nominal design is infeasible");
         }
-        fill_eval_fields(job.result, nominal);
-        job.result.direction = req.direction;
-        job.result.design_hash = net.content_hash();
+        fill_eval_fields(local, nominal);
+        local.direction = req.direction;
+        local.design_hash = net.content_hash();
         SweepOptions options;
         options.scenarios = req.scenarios;
         options.seed = req.seed;
@@ -397,11 +425,11 @@ void Scheduler::execute(Job& job) {
         const SweepReport report =
             run_sweep(bench.problem, net, bench.constraints, nominal.p_sys,
                       options);
-        job.result.p_exceed_t_max = report.p_exceed_t_max;
-        job.result.p_exceed_delta_t = report.p_exceed_delta_t;
-        job.result.scenarios = report.outcomes.size();
-        job.result.unrecoverable = report.unrecoverable;
-        job.result.evaluations = report.outcomes.size();
+        local.p_exceed_t_max = report.p_exceed_t_max;
+        local.p_exceed_delta_t = report.p_exceed_delta_t;
+        local.scenarios = report.outcomes.size();
+        local.unrecoverable = report.unrecoverable;
+        local.evaluations = report.outcomes.size();
         break;
       }
     }
@@ -422,13 +450,16 @@ void Scheduler::execute(Job& job) {
     instrument::add_job_completed();
   }
 
+  local.seconds = timer.seconds();
+  local.error = error;
+  local.counters = session.counters().snapshot();
+  local.manifest = session.manifest_json();
+  local.status = final_status;
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job.result.seconds = timer.seconds();
-    job.result.error = error;
-    job.result.counters = session.counters().snapshot();
-    job.result.manifest = session.manifest_json();
-    job.result.status = final_status;
+    local.start_order = job.result.start_order;
+    job.result = std::move(local);
     job.status = final_status;
   }
   if (job.sink != nullptr) {

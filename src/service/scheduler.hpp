@@ -163,14 +163,20 @@ class Scheduler {
   Job* find_locked(std::uint64_t id) const;
   /// Recompute every running job's pool share from the live weight total.
   void rebalance_locked();
+  /// Retire the oldest terminal jobs once the history exceeds the retention
+  /// cap, so a long-lived daemon's job map stays bounded.
+  void gc_terminal_locked();
   void execute(Job& job);
 
   std::size_t max_running_ = 2;
   std::size_t pool_width_ = 1;
+  std::size_t retain_jobs_ = 1024;  ///< LCN_JOB_HISTORY
 
   mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< runners: queue or stop changed
-  std::condition_variable done_cv_;  ///< waiters: some job became terminal
+  std::condition_variable work_cv_;      ///< runners: queue or stop changed
+  std::condition_variable done_cv_;      ///< waiters: some job became terminal
+  std::condition_variable watchdog_cv_;  ///< watchdog: dedicated wakeup so it
+                                         ///< never consumes a runner's notify
   bool stop_ = false;
   bool accepting_ = true;
   std::uint64_t next_id_ = 1;

@@ -4,9 +4,11 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -100,8 +102,21 @@ struct Server::Connection {
   }
 
   void shutdown_both() {
+    std::lock_guard<std::mutex> lock(write_mutex);
     closed.store(true, std::memory_order_relaxed);
-    ::shutdown(fd, SHUT_RDWR);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+
+  /// Close the fd eagerly (reader-thread exit). Sinks may still hold the
+  /// Connection, but their writes see `closed` and drop; without this the
+  /// socket would sit in CLOSE_WAIT until the whole Server died.
+  void close_now() {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    closed.store(true, std::memory_order_relaxed);
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
   }
 };
 
@@ -124,13 +139,21 @@ class Server::StreamSink : public ProgressSink {
       // The scheduler stores the final result before emitting job_done, so
       // this read observes the terminal state.
       conn_->write_line(result_json(id, scheduler_->result(id)));
+      // Last action on purpose: once this store is visible the server's
+      // reaper may delete the sink, so `this` must not be touched again.
+      finished_.store(true, std::memory_order_release);
     }
   }
+
+  /// True once the final result line has been delivered; the sink is then
+  /// garbage-collectable.
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
 
  private:
   std::shared_ptr<Connection> conn_;
   Scheduler* scheduler_;
   std::atomic<std::uint64_t> job_id_{0};
+  std::atomic<bool> finished_{false};
 };
 
 Server::Server(ServerOptions options)
@@ -220,14 +243,38 @@ void Server::run() {
   while (!shutdown_.load(std::memory_order_relaxed)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
+    {
+      // Piggyback housekeeping on the poll tick: join readers whose client
+      // vanished and drop sinks whose job has delivered its final event, so
+      // a long-lived daemon does not accumulate one fd + thread + sink per
+      // connection served.
+      std::lock_guard<std::mutex> lock(mutex_);
+      reap_locked();
+    }
     if (ready <= 0) continue;  // timeout, EINTR (signal), or spurious wake
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    // Bound blocking sends: a client that stops reading must not be able to
+    // wedge a progress emit (and with it shutdown) forever — after the
+    // timeout write_line marks the connection closed and drops output.
+    timeval send_timeout{10, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     std::lock_guard<std::mutex> lock(mutex_);
     connections_.push_back(conn);
-    threads_.emplace_back([this, conn] { serve_connection(conn); });
+    threads_.emplace_back([this, conn] {
+      serve_connection(conn);
+      conn->close_now();
+      std::lock_guard<std::mutex> cleanup_lock(mutex_);
+      connections_.erase(
+          std::remove(connections_.begin(), connections_.end(), conn),
+          connections_.end());
+      // The accept loop (or shutdown) joins us via this id; pushing it is
+      // the thread's last locked action.
+      finished_threads_.push_back(std::this_thread::get_id());
+    });
   }
 
   LCN_INFO() << "lcn_serve draining";
@@ -242,7 +289,26 @@ void Server::run() {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+  finished_threads_.clear();
   LCN_INFO() << "lcn_serve stopped";
+}
+
+void Server::reap_locked() {
+  for (const std::thread::id id : finished_threads_) {
+    for (auto it = threads_.begin(); it != threads_.end(); ++it) {
+      if (it->get_id() == id) {
+        // The thread recorded its id as its final locked action, so this
+        // join only waits for the lambda frame to unwind — no deadlock.
+        it->join();
+        threads_.erase(it);
+        break;
+      }
+    }
+  }
+  finished_threads_.clear();
+  for (auto it = sinks_.begin(); it != sinks_.end();) {
+    it = it->second->finished() ? sinks_.erase(it) : std::next(it);
+  }
 }
 
 void Server::serve_connection(const std::shared_ptr<Connection>& conn) {

@@ -67,20 +67,31 @@ class Server {
   /// Handle one request line; returns false when the connection should close.
   bool handle_line(const std::shared_ptr<Connection>& conn,
                    const std::string& line);
+  /// Join reader threads that have exited and drop sinks whose job has
+  /// emitted its final event. Called with mutex_ held (accept-loop tick).
+  void reap_locked();
 
-  Scheduler scheduler_;
   std::string address_;
   int listen_fd_ = -1;
   std::string unix_path_;  ///< unlink target for unix sockets, "" otherwise
   std::atomic<bool> shutdown_{false};
 
-  std::mutex mutex_;  ///< guards connections_ and sinks_
+  std::mutex mutex_;  ///< guards connections_, threads_, sinks_
   std::vector<std::shared_ptr<Connection>> connections_;
   std::vector<std::thread> threads_;
-  /// Sinks for streaming jobs, keyed by job id. Kept until shutdown: a
-  /// running job may emit into its sink long after the client disconnected
-  /// (the sink then writes into a closed connection, which is a no-op).
+  /// Ids of reader threads that finished serving; the accept loop joins and
+  /// erases them so a churny daemon does not hoard dead thread handles.
+  std::vector<std::thread::id> finished_threads_;
+  /// Sinks for streaming jobs, keyed by job id. A running job may emit into
+  /// its sink long after the client disconnected (the sink then writes into
+  /// a closed connection, which is a no-op); once the job's final event has
+  /// been delivered the accept loop garbage-collects the entry.
   std::map<std::uint64_t, std::unique_ptr<StreamSink>> sinks_;
+
+  /// Declared last so it is destroyed first: ~Scheduler joins the runners
+  /// before sinks_ and connections_ go away, so a still-running job can
+  /// never emit into a freed sink during ~Server.
+  Scheduler scheduler_;
 };
 
 }  // namespace lcn::service

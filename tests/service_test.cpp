@@ -486,6 +486,48 @@ TEST(ServiceProtocol, FlatJsonRoundTripsTypesAndEscapes) {
   EXPECT_FALSE(service::parse_json_object("{\"a\":1} extra", obj, error));
 }
 
+TEST(ServiceProtocol, ExactIntegersSurviveBeyondDoublePrecision) {
+  service::JsonObject obj;
+  std::string error;
+  // 2^63 + 1 is not representable as a double; the raw token must carry it.
+  ASSERT_TRUE(service::parse_json_object(
+      R"({"seed":9223372036854775809,"neg":-4,"frac":1.5,"exp":1e3})", obj,
+      error))
+      << error;
+  std::uint64_t value = 0;
+  EXPECT_EQ(obj.get_uint64("seed", value), service::JsonObject::IntStatus::kOk);
+  EXPECT_EQ(value, 9223372036854775809ULL);
+  EXPECT_EQ(obj.get_uint64("neg", value),
+            service::JsonObject::IntStatus::kBad);
+  EXPECT_EQ(obj.get_uint64("frac", value),
+            service::JsonObject::IntStatus::kBad);
+  EXPECT_EQ(obj.get_uint64("exp", value),
+            service::JsonObject::IntStatus::kBad);
+  EXPECT_EQ(obj.get_uint64("absent", value),
+            service::JsonObject::IntStatus::kMissing);
+  // One digit past UINT64_MAX overflows and must be rejected, not wrapped.
+  ASSERT_TRUE(
+      service::parse_json_object(R"({"big":184467440737095516160})", obj,
+                                 error))
+      << error;
+  EXPECT_EQ(obj.get_uint64("big", value),
+            service::JsonObject::IntStatus::kBad);
+
+  // The same contract at the request layer: exact seeds in, bad seeds out.
+  service::Request request;
+  ASSERT_TRUE(service::parse_request(
+      R"({"op":"submit","kind":"evaluate","seed":18446744073709551615})",
+      request, error))
+      << error;
+  EXPECT_EQ(request.job.seed, 18446744073709551615ULL);
+  EXPECT_FALSE(service::parse_request(
+      R"({"op":"submit","kind":"evaluate","seed":-1})", request, error));
+  EXPECT_FALSE(service::parse_request(R"({"op":"status","job":-3})", request,
+                                      error));
+  EXPECT_FALSE(service::parse_request(R"({"op":"status","job":2.5})", request,
+                                      error));
+}
+
 TEST(ServiceProtocol, RequestParsingValidatesFields) {
   service::Request request;
   std::string error;
