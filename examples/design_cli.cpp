@@ -5,6 +5,16 @@
 //
 // Defaults run a quick Problem-1 design of case 2 and print the outcome;
 // with --out the winning network is serialized for downstream tools.
+//
+// Scenario mode (DESIGN.md §S23) time-steps a design instead of searching:
+//
+//   example_design_cli --scenario trace.ndjson [--case N]
+//                      [--network design.network] [--format csv|jsonl]
+//                      [--out rows.csv]
+//
+// The scenario file is NDJSON (scenario_io.hpp); rows stream to stdout (or
+// --out) as they are produced, so a Ctrl-C mid-run still leaves a usable
+// prefix and exits cleanly through the cooperative cancel flag.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -16,8 +26,10 @@
 #include "common/task_context.hpp"
 #include "common/trace.hpp"
 #include "geom/problem_io.hpp"
+#include "network/generators.hpp"
 #include "opt/report.hpp"
 #include "opt/sa.hpp"
+#include "scenario/scenario_io.hpp"
 
 namespace {
 
@@ -39,6 +51,9 @@ struct CliOptions {
   double scale = 0.15;
   std::uint64_t seed = 1;
   std::string out_path;
+  std::string scenario_path;  ///< non-empty switches to scenario mode
+  std::string network_path;   ///< scenario mode: saved design to simulate
+  bool jsonl = false;         ///< scenario rows as JSONL instead of CSV
 };
 
 bool parse_args(int argc, char** argv, CliOptions& options) {
@@ -75,6 +90,24 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       const char* v = next_value();
       if (v == nullptr) return false;
       options.out_path = v;
+    } else if (arg == "--scenario") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options.scenario_path = v;
+    } else if (arg == "--network") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      options.network_path = v;
+    } else if (arg == "--format") {
+      const char* v = next_value();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "csv") == 0) {
+        options.jsonl = false;
+      } else if (std::strcmp(v, "jsonl") == 0) {
+        options.jsonl = true;
+      } else {
+        return false;
+      }
     } else if (arg == "--help") {
       return false;
     } else {
@@ -85,6 +118,70 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
+/// The canonical uniform layout (branch columns at cols/3 and 2·cols/3,
+/// rounded even) the SA starts from — the scenario default when no saved
+/// design is given.
+CoolingNetwork scenario_network(const BenchmarkCase& bench,
+                                const CliOptions& options) {
+  if (!options.network_path.empty()) {
+    return CoolingNetwork::from_text(read_text_file(options.network_path));
+  }
+  const Grid2D& grid = bench.problem.grid;
+  int b1 = grid.cols() / 3;
+  b1 -= b1 % 2;
+  int b2 = 2 * grid.cols() / 3;
+  b2 -= b2 % 2;
+  const TreeTopologyOptimizer optimizer(bench, DesignObjective::kPumpingPower,
+                                        1);
+  return optimizer.realize(make_uniform_layout(grid, b1, b2), 0);
+}
+
+int run_scenario_mode(const CliOptions& options) {
+  const BenchmarkCase bench = make_iccad_case(options.case_id);
+  const ScenarioConfig config = load_scenario_file(options.scenario_path);
+  const CoolingNetwork network = scenario_network(bench, options);
+
+  std::FILE* out = stdout;
+  if (!options.out_path.empty()) {
+    out = std::fopen(options.out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   options.out_path.c_str());
+      return 1;
+    }
+  }
+  if (!options.jsonl) {
+    std::fprintf(out, "%s\n", scenario_csv_header().c_str());
+  }
+
+  const bool jsonl = options.jsonl;
+  int status = 0;
+  try {
+    const ScenarioResult result = run_scenario(
+        bench.problem, network, config, [&](const ScenarioSample& sample) {
+          const std::string row = jsonl ? scenario_sample_json(sample)
+                                        : scenario_sample_csv(sample);
+          std::fprintf(out, "%s\n", row.c_str());
+        });
+    std::fflush(out);
+    std::fprintf(stderr,
+                 "scenario: %d steps, peak Tmax = %.2f K, peak dT = %.2f K, "
+                 "final inlet = %.2f K\n",
+                 result.steps, result.peak_t_max, result.peak_delta_t,
+                 result.final_inlet);
+  } catch (const Cancelled&) {
+    std::fflush(out);
+    if (trace::active()) trace::stop();
+    std::fprintf(stderr, "interrupted: scenario cancelled cleanly\n");
+    status = 130;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario failed: %s\n", e.what());
+    status = 1;
+  }
+  if (out != stdout) std::fclose(out);
+  return status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,9 +189,21 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, options)) {
     std::printf(
         "usage: %s [--case 1..5] [--objective p1|p2] [--scale S]\n"
-        "          [--seed K] [--out design.network]\n",
-        argv[0]);
+        "          [--seed K] [--out design.network]\n"
+        "       %s --scenario trace.ndjson [--case 1..5]\n"
+        "          [--network design.network] [--format csv|jsonl]"
+        " [--out rows]\n",
+        argv[0], argv[0]);
     return 2;
+  }
+
+  if (!options.scenario_path.empty()) {
+    std::signal(SIGINT, on_interrupt);
+    std::signal(SIGTERM, on_interrupt);
+    TaskContext ctx;
+    ctx.cancel = &g_interrupted;
+    ScopedTaskContext scope(&ctx);
+    return run_scenario_mode(options);
   }
 
   BenchmarkCase bench = make_iccad_case(options.case_id);

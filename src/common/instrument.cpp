@@ -97,6 +97,11 @@ void add_pt_swap() { bump(&CounterShard::pt_swaps, 1); }
 void add_archive_insert() { bump(&CounterShard::archive_inserts, 1); }
 void add_job_completed() { bump(&CounterShard::jobs_completed, 1); }
 void add_job_cancelled() { bump(&CounterShard::jobs_cancelled, 1); }
+void add_transient_step() { bump(&CounterShard::transient_steps, 1); }
+void add_transient_refill() { bump(&CounterShard::transient_refills, 1); }
+void add_transient_rebuild() { bump(&CounterShard::transient_rebuilds, 1); }
+void add_rhs_refill() { bump(&CounterShard::rhs_refills, 1); }
+void add_scenario_step() { bump(&CounterShard::scenario_steps, 1); }
 
 Snapshot CounterShard::snapshot() const {
   Snapshot s;
@@ -153,7 +158,10 @@ std::string Snapshot::json() const {
       "\"fp32_inner_iters\":%llu,\"refinement_steps\":%llu,"
       "\"island_migrations\":%llu,\"pt_swaps\":%llu,"
       "\"archive_inserts\":%llu,"
-      "\"jobs_completed\":%llu,\"jobs_cancelled\":%llu}",
+      "\"jobs_completed\":%llu,\"jobs_cancelled\":%llu,"
+      "\"transient_steps\":%llu,\"transient_refills\":%llu,"
+      "\"transient_rebuilds\":%llu,\"rhs_refills\":%llu,"
+      "\"scenario_steps\":%llu}",
       static_cast<unsigned long long>(spmv_count),
       static_cast<unsigned long long>(spmv_nnz),
       static_cast<unsigned long long>(cg_solves),
@@ -186,7 +194,12 @@ std::string Snapshot::json() const {
       static_cast<unsigned long long>(pt_swaps),
       static_cast<unsigned long long>(archive_inserts),
       static_cast<unsigned long long>(jobs_completed),
-      static_cast<unsigned long long>(jobs_cancelled));
+      static_cast<unsigned long long>(jobs_cancelled),
+      static_cast<unsigned long long>(transient_steps),
+      static_cast<unsigned long long>(transient_refills),
+      static_cast<unsigned long long>(transient_rebuilds),
+      static_cast<unsigned long long>(rhs_refills),
+      static_cast<unsigned long long>(scenario_steps));
 }
 
 }  // namespace lcn::instrument

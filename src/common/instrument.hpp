@@ -58,7 +58,12 @@ namespace lcn::instrument {
   X(pt_swaps)                      \
   X(archive_inserts)               \
   X(jobs_completed)                \
-  X(jobs_cancelled)
+  X(jobs_cancelled)                \
+  X(transient_steps)               \
+  X(transient_refills)             \
+  X(transient_rebuilds)            \
+  X(rhs_refills)                   \
+  X(scenario_steps)
 
 /// Point-in-time copy of every counter. `json()` renders a flat JSON object
 /// (the "counters" field of the BENCH_parallel.json schema, README §Bench).
@@ -97,6 +102,11 @@ struct Snapshot {
   std::uint64_t archive_inserts = 0;       ///< Pareto-archive frontier entries
   std::uint64_t jobs_completed = 0;        ///< scheduler jobs run to completion
   std::uint64_t jobs_cancelled = 0;        ///< scheduler jobs cancelled/timed out
+  std::uint64_t transient_steps = 0;       ///< backward-Euler steps solved
+  std::uint64_t transient_refills = 0;     ///< same-structure operator refills
+  std::uint64_t transient_rebuilds = 0;    ///< full symbolic operator rebuilds
+  std::uint64_t rhs_refills = 0;           ///< RHS-only boundary/power refills
+  std::uint64_t scenario_steps = 0;        ///< dynamic-scenario engine steps
 
   double cache_hit_rate() const;
   std::string json() const;
@@ -145,6 +155,11 @@ void add_pt_swap();
 void add_archive_insert();
 void add_job_completed();
 void add_job_cancelled();
+void add_transient_step();
+void add_transient_refill();
+void add_transient_rebuild();
+void add_rhs_refill();
+void add_scenario_step();
 
 Snapshot snapshot();
 /// Difference of two snapshots (per-phase accounting in benches). This is

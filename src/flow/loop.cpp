@@ -1,0 +1,78 @@
+#include "flow/loop.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace lcn {
+
+CduLoop::CduLoop(const CduConfig& config, double chip_unit_flow,
+                 double coolant_volumetric_heat, double initial_supply)
+    : config_(config),
+      coolant_cv_(coolant_volumetric_heat),
+      supply_temperature_(initial_supply),
+      return_temperature_(initial_supply) {
+  LCN_REQUIRE(config.pump.p_max > 0.0 && config.pump.q_max > 0.0,
+              "pump curve must have positive shutoff head and free delivery");
+  LCN_REQUIRE(config.header_loss >= 0.0, "header loss must be non-negative");
+  LCN_REQUIRE(config.hx_ua > 0.0, "heat-exchanger UA must be positive");
+  LCN_REQUIRE(config.facility_flow > 0.0 &&
+                  config.facility_volumetric_heat > 0.0,
+              "facility side must have positive flow and heat capacity");
+  LCN_REQUIRE(config.loop_volume > 0.0, "loop volume must be positive");
+  LCN_REQUIRE(chip_unit_flow > 0.0, "chip branch must carry flow at 1 Pa");
+  LCN_REQUIRE(coolant_volumetric_heat > 0.0,
+              "coolant heat capacity must be positive");
+  chip_resistance_ = 1.0 / chip_unit_flow;
+}
+
+void CduLoop::set_chip_unit_flow(double chip_unit_flow) {
+  LCN_REQUIRE(chip_unit_flow > 0.0, "chip branch must carry flow at 1 Pa");
+  chip_resistance_ = 1.0 / chip_unit_flow;
+}
+
+CduLoop::Operating CduLoop::operating_point(double speed) const {
+  LCN_REQUIRE(speed >= 0.0 && speed <= 1.0, "pump speed must be in [0, 1]");
+  if (speed == 0.0) return {};
+  // (K + p_max/q_max²)·Q² + R·Q − s²·p_max = 0, positive root.
+  const double a =
+      config_.header_loss + config_.pump.p_max /
+                                (config_.pump.q_max * config_.pump.q_max);
+  const double r = chip_resistance_;
+  const double head = speed * speed * config_.pump.p_max;
+  const double q = (-r + std::sqrt(r * r + 4.0 * a * head)) / (2.0 * a);
+  return {q, r * q};
+}
+
+void CduLoop::advance(double dt, double flow, double chip_heat) {
+  LCN_REQUIRE(dt > 0.0, "time step must be positive");
+  LCN_REQUIRE(flow > 0.0, "loop flow must be positive");
+  // Chip branch outlet temperature from the heat pickup.
+  const double c_hot = coolant_cv_ * flow;
+  return_temperature_ = supply_temperature_ + chip_heat / c_hot;
+
+  // Counterflow HX effectiveness (ε-NTU).
+  const double c_cold =
+      config_.facility_volumetric_heat * config_.facility_flow;
+  const double c_min = c_hot < c_cold ? c_hot : c_cold;
+  const double c_max = c_hot < c_cold ? c_cold : c_hot;
+  const double ntu = config_.hx_ua / c_min;
+  const double cr = c_min / c_max;
+  double eff;
+  if (cr > 1.0 - 1e-12) {
+    eff = ntu / (1.0 + ntu);
+  } else {
+    const double e = std::exp(-ntu * (1.0 - cr));
+    eff = (1.0 - e) / (1.0 - cr * e);
+  }
+  rejected_heat_ =
+      eff * c_min * (return_temperature_ - config_.facility_temperature);
+  const double hx_out = return_temperature_ - rejected_heat_ / c_hot;
+
+  // Loop volume integrates the supply temperature toward the HX outlet with
+  // τ = V/Q, backward Euler: T' = (T + (dt/τ)·T_hx) / (1 + dt/τ).
+  const double k = dt * flow / config_.loop_volume;
+  supply_temperature_ = (supply_temperature_ + k * hx_out) / (1.0 + k);
+}
+
+}  // namespace lcn

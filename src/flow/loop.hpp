@@ -1,0 +1,98 @@
+// Rack-level coolant loop (CDU) model for chip-to-rack co-simulation
+// (DESIGN.md §S23; in the spirit of the direct-to-chip cooling literature in
+// PAPERS.md).
+//
+// The chip's microchannel network is one branch of a closed secondary loop:
+// a centrifugal pump drives coolant through supply/return headers into the
+// chip cold plate, a counterflow liquid-to-liquid heat exchanger rejects the
+// picked-up heat to the facility (primary) side, and the loop's coolant mass
+// integrates the supply temperature. The loop feeds back into the chip
+// simulation through BoundaryState::inlet_temperature each scenario step.
+//
+// Hydraulics. The pump follows a quadratic head curve with affinity-law
+// speed scaling, P(Q, s) = s²·p_max − (p_max/q_max²)·Q² (the quadratic droop
+// coefficient is speed-invariant under the affinity laws). The chip branch
+// is linear laminar, ΔP_chip = R_chip·Q; headers and fittings add a
+// turbulent K·Q² loss. Balancing pump head against losses gives a
+// closed-form operating point — no iteration, so the co-simulation stays
+// deterministic.
+//
+// Heat. Counterflow effectiveness–NTU: ε = (1 − e^{−NTU(1−Cr)}) /
+// (1 − Cr·e^{−NTU(1−Cr)}), with the Cr → 1 limit NTU/(1+NTU). The loop
+// coolant volume V relaxes the supply temperature toward the HX outlet with
+// the transport time constant τ = V/Q via one backward-Euler update per
+// step (unconditionally stable, matching the chip integrator).
+#pragma once
+
+namespace lcn {
+
+/// Quadratic pump curve: shutoff head `p_max` (Pa) at zero flow, free
+/// delivery `q_max` (m³/s) at zero head, both at rated speed (s = 1).
+struct PumpCurve {
+  double p_max = 2.0e4;
+  double q_max = 2.0e-4;
+};
+
+struct CduConfig {
+  PumpCurve pump;
+  /// Quadratic supply/return header loss coefficient, Pa/(m³/s)².
+  double header_loss = 0.0;
+  /// Heat-exchanger conductance UA, W/K.
+  double hx_ua = 5.0;
+  /// Facility (primary) side volumetric flow, m³/s.
+  double facility_flow = 1.0e-4;
+  /// Facility supply temperature, K.
+  double facility_temperature = 293.15;
+  /// Facility coolant volumetric heat capacity, J/(m³·K) (water).
+  double facility_volumetric_heat = 4.18e6;
+  /// Secondary-loop coolant volume (thermal mass), m³.
+  double loop_volume = 2.0e-5;
+};
+
+/// Closed secondary coolant loop. All state updates are serial scalar
+/// arithmetic: trajectories are bit-identical for any thread count.
+class CduLoop {
+ public:
+  /// `chip_unit_flow` is the chip branch's flow at 1 Pa (FlowSolution
+  /// system_flow — the branch is linear, R_chip = 1/chip_unit_flow);
+  /// `coolant_volumetric_heat` is the secondary coolant's C_v, J/(m³·K).
+  /// The loop starts thermally relaxed at `initial_supply` K.
+  CduLoop(const CduConfig& config, double chip_unit_flow,
+          double coolant_volumetric_heat, double initial_supply);
+
+  struct Operating {
+    double flow = 0.0;           ///< loop flow Q, m³/s
+    double chip_pressure = 0.0;  ///< ΔP across the chip branch, Pa
+  };
+
+  /// Hydraulic operating point at pump speed `s` ∈ [0, 1]: pump head
+  /// s²·p_max − (p_max/q_max²)Q² balances R_chip·Q + K·Q².
+  Operating operating_point(double speed) const;
+
+  /// Largest chip pressure the loop can deliver (operating point at s = 1).
+  double max_chip_pressure() const { return operating_point(1.0).chip_pressure; }
+
+  /// Update the chip branch's hydraulic resistance (a blockage mid-scenario
+  /// changes the branch, not the rest of the loop).
+  void set_chip_unit_flow(double chip_unit_flow);
+
+  /// Advance the loop one step: the chip heats the branch flow by
+  /// `chip_heat` W at loop flow `flow`, the HX rejects to the facility side,
+  /// and the loop volume integrates the supply temperature (backward Euler).
+  void advance(double dt, double flow, double chip_heat);
+
+  double supply_temperature() const { return supply_temperature_; }
+  double return_temperature() const { return return_temperature_; }
+  /// Heat rejected to the facility side in the last advance(), W.
+  double rejected_heat() const { return rejected_heat_; }
+
+ private:
+  CduConfig config_;
+  double chip_resistance_ = 0.0;  ///< Pa·s/m³
+  double coolant_cv_ = 0.0;       ///< J/(m³·K)
+  double supply_temperature_ = 0.0;
+  double return_temperature_ = 0.0;
+  double rejected_heat_ = 0.0;
+};
+
+}  // namespace lcn

@@ -14,24 +14,35 @@ namespace lcn {
 
 namespace {
 
-bool finite_objectives(const ParetoPoint& p) {
+bool finite_objectives(const ParetoPoint& p, bool with_t_peak) {
   return std::isfinite(p.w_pump) && std::isfinite(p.delta_t) &&
-         std::isfinite(p.t_max);
+         std::isfinite(p.t_max) && (!with_t_peak || std::isfinite(p.t_peak));
 }
 
-bool objectives_equal(const ParetoPoint& a, const ParetoPoint& b) {
-  return a.w_pump == b.w_pump && a.delta_t == b.delta_t && a.t_max == b.t_max;
+bool objectives_equal(const ParetoPoint& a, const ParetoPoint& b,
+                      bool with_t_peak) {
+  return a.w_pump == b.w_pump && a.delta_t == b.delta_t &&
+         a.t_max == b.t_max && (!with_t_peak || a.t_peak == b.t_peak);
 }
 
 /// Weak dominance: a is no worse than b in every objective.
-bool dominates_or_equal(const ParetoPoint& a, const ParetoPoint& b) {
-  return a.w_pump <= b.w_pump && a.delta_t <= b.delta_t && a.t_max <= b.t_max;
+bool dominates_or_equal(const ParetoPoint& a, const ParetoPoint& b,
+                        bool with_t_peak) {
+  return a.w_pump <= b.w_pump && a.delta_t <= b.delta_t &&
+         a.t_max <= b.t_max && (!with_t_peak || a.t_peak <= b.t_peak);
+}
+
+bool strict_dominates(const ParetoPoint& a, const ParetoPoint& b,
+                      bool with_t_peak) {
+  return dominates_or_equal(a, b, with_t_peak) &&
+         !objectives_equal(a, b, with_t_peak);
 }
 
 bool canonical_less(const ParetoPoint& a, const ParetoPoint& b) {
   if (a.w_pump != b.w_pump) return a.w_pump < b.w_pump;
   if (a.delta_t != b.delta_t) return a.delta_t < b.delta_t;
   if (a.t_max != b.t_max) return a.t_max < b.t_max;
+  if (a.t_peak != b.t_peak) return a.t_peak < b.t_peak;
   return a.design < b.design;
 }
 
@@ -91,12 +102,17 @@ double field_double(const std::string& line, const char* key) {
 }  // namespace
 
 bool pareto_dominates(const ParetoPoint& a, const ParetoPoint& b) {
-  return dominates_or_equal(a, b) && !objectives_equal(a, b);
+  return strict_dominates(a, b, /*with_t_peak=*/false);
+}
+
+bool pareto_dominates_transient(const ParetoPoint& a, const ParetoPoint& b) {
+  return strict_dominates(a, b, /*with_t_peak=*/true);
 }
 
 ArchiveInsert ParetoArchive::insert(const ParetoPoint& point) {
+  const bool with_t_peak = transient_objective_;
   ++attempts_;
-  if (!finite_objectives(point)) {
+  if (!finite_objectives(point, with_t_peak)) {
     return ArchiveInsert::kNotFinite;
   }
   for (const ParetoPoint& existing : points_) {
@@ -109,18 +125,19 @@ ArchiveInsert ParetoArchive::insert(const ParetoPoint& point) {
   // an exact objective tie from a different design, which coexists (both
   // survive regardless of arrival order, keeping the archive order-free).
   for (const ParetoPoint& existing : points_) {
-    if (pareto_dominates(existing, point)) {
+    if (strict_dominates(existing, point, with_t_peak)) {
       ++dominated_;
       return ArchiveInsert::kDominated;
     }
   }
   // Prune everything the newcomer strictly dominates.
   const std::size_t before = points_.size();
-  points_.erase(std::remove_if(points_.begin(), points_.end(),
-                               [&](const ParetoPoint& existing) {
-                                 return pareto_dominates(point, existing);
-                               }),
-                points_.end());
+  points_.erase(
+      std::remove_if(points_.begin(), points_.end(),
+                     [&](const ParetoPoint& existing) {
+                       return strict_dominates(point, existing, with_t_peak);
+                     }),
+      points_.end());
   pruned_ += before - points_.size();
   points_.push_back(point);
   ++inserted_;
@@ -198,9 +215,9 @@ std::string ParetoArchive::to_jsonl() const {
   for (const ParetoPoint& p : sorted()) {
     out += strfmt(
         "{\"design\":%llu,\"w_pump\":%.17g,\"delta_t\":%.17g,"
-        "\"t_max\":%.17g,\"p_sys\":%.17g,\"tag\":\"%s\"}\n",
+        "\"t_max\":%.17g,\"t_peak\":%.17g,\"p_sys\":%.17g,\"tag\":\"%s\"}\n",
         static_cast<unsigned long long>(p.design), p.w_pump, p.delta_t,
-        p.t_max, p.p_sys, escape_tag(p.tag).c_str());
+        p.t_max, p.t_peak, p.p_sys, escape_tag(p.tag).c_str());
   }
   return out;
 }
@@ -220,15 +237,21 @@ ParetoPoint ParetoArchive::parse_point(const std::string& line) {
   p.w_pump = field_double(line, "w_pump");
   p.delta_t = field_double(line, "delta_t");
   p.t_max = field_double(line, "t_max");
+  // Snapshots written before the transient objective existed lack t_peak;
+  // they load as "not evaluated" (0.0).
+  if (line.find("\"t_peak\":") != std::string::npos) {
+    p.t_peak = field_double(line, "t_peak");
+  }
   p.p_sys = field_double(line, "p_sys");
   p.tag = field_text(line, "tag");
   return p;
 }
 
-ParetoArchive ParetoArchive::load_jsonl(const std::string& path) {
+ParetoArchive ParetoArchive::load_jsonl(const std::string& path,
+                                        bool transient_objective) {
   std::ifstream in(path);
   if (!in) throw RuntimeError("cannot read pareto snapshot: " + path);
-  ParetoArchive archive;
+  ParetoArchive archive(transient_objective);
   std::string line;
   while (std::getline(in, line)) {
     if (trim(line).empty()) continue;

@@ -1,5 +1,7 @@
 #include "opt/runtime_flow.hpp"
 
+#include "scenario/scenario.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -79,39 +81,33 @@ TransientCheck verify_plan_transient(const CoolingProblem& nominal,
               "plan/phase count mismatch");
   LCN_REQUIRE(dt > 0.0, "time step must be positive");
 
-  TransientCheck check;
-  std::vector<double> state;  // temperature carried across phases
-  for (std::size_t i = 0; i < phases.size(); ++i) {
-    CoolingProblem scaled = nominal;
-    for (std::size_t l = 0; l < scaled.source_power.size(); ++l) {
-      scaled.source_power[l].scale_to(nominal.source_power[l].total() *
-                                      phases[i].layer_scale[l]);
-    }
-    const Thermal2RM sim(
-        scaled,
-        std::vector<CoolingNetwork>(
-            static_cast<std::size_t>(scaled.stack.channel_count()), network),
-        options.sim.thermal_cell);
-    const AssembledThermal system = sim.assemble(plan.phases[i].p_sys);
-    if (state.empty()) {
-      state.assign(system.matrix.rows(), nominal.inlet_temperature);
-    }
-    LCN_CHECK(state.size() == system.matrix.rows(),
-              "node count must be phase-invariant for a fixed network");
-
-    TransientOptions step;
-    step.dt = dt;
-    step.steps = std::max(1, static_cast<int>(std::ceil(
-                                 phases[i].duration / dt)));
-    double phase_peak = 0.0;
-    const auto samples = simulate_transient(system, state, step, &state);
-    for (const TransientSample& s : samples) {
-      phase_peak = std::max(phase_peak, s.t_max);
-      check.peak_delta_t = std::max(check.peak_delta_t, s.delta_t);
-    }
-    check.phase_peaks.push_back(phase_peak);
-    check.peak_t_max = std::max(check.peak_t_max, phase_peak);
+  // Ride the scenario engine: the phases become a kPhases trace and the
+  // plan's pressures a per-phase pump schedule. State carries across phase
+  // switches inside the engine; power scaling rides the RHS boundary, so
+  // only the pressure changes touch the operator.
+  ScenarioConfig scenario;
+  scenario.sim = options.sim;
+  scenario.dt = dt;
+  scenario.rel_tolerance = 1e-9;
+  scenario.trace.kind = TraceKind::kPhases;
+  scenario.trace.phases = phases;
+  scenario.pump.kind = PumpPolicyKind::kSchedule;
+  for (const PhasePlan& pp : plan.phases) {
+    scenario.pump.schedule.push_back(pp.p_sys);
   }
+
+  TransientCheck check;
+  check.phase_peaks.assign(phases.size(), 0.0);
+  const ScenarioResult result = run_scenario(nominal, network, scenario);
+  for (const ScenarioSample& s : result.samples) {
+    LCN_CHECK(s.phase >= 0 &&
+                  s.phase < static_cast<int>(check.phase_peaks.size()),
+              "phase trace must tag every sample");
+    double& peak = check.phase_peaks[static_cast<std::size_t>(s.phase)];
+    peak = std::max(peak, s.t_max);
+  }
+  check.peak_t_max = result.peak_t_max;
+  check.peak_delta_t = result.peak_delta_t;
   check.within_t_max = check.peak_t_max <= limits.t_max * (1.0 + 1e-6);
   return check;
 }

@@ -14,15 +14,10 @@
 
 #include "network/cooling_network.hpp"
 #include "opt/evaluator.hpp"
+#include "scenario/scenario.hpp"  // PowerPhase lives with the scenario engine
 #include "thermal/problem.hpp"
 
 namespace lcn {
-
-struct PowerPhase {
-  /// Scale factors applied to each source layer's nominal power map.
-  std::vector<double> layer_scale;
-  double duration = 1.0;  ///< s
-};
 
 struct PhasePlan {
   double p_sys = 0.0;     ///< chosen pump pressure for the phase
@@ -66,11 +61,12 @@ struct TransientCheck {
   std::vector<double> phase_peaks;  ///< per-phase peak T_max
 };
 
-/// Verify a plan dynamically: integrate the RC network through the phase
-/// sequence (power and pump pressure switch at phase boundaries, temperature
-/// state carries over) and report the transient peaks. Steady-state
-/// planning alone can miss overshoot when a hot phase starts from a warm
-/// state; backward-Euler stepping with `dt` checks it.
+/// Verify a plan dynamically: run the scenario engine (§S23) through the
+/// phase sequence with the plan's pressures as a per-phase pump schedule
+/// (power and pressure switch at phase boundaries, temperature state carries
+/// over) and report the transient peaks. Steady-state planning alone can
+/// miss overshoot when a hot phase starts from a warm state; backward-Euler
+/// stepping with `dt` checks it.
 TransientCheck verify_plan_transient(const CoolingProblem& nominal,
                                      const CoolingNetwork& network,
                                      const DesignConstraints& limits,

@@ -236,4 +236,50 @@ Rng scenario_rng(std::uint64_t seed, std::size_t index) {
   return Rng(sm.next());
 }
 
+double timed_activation(const TimedFault& timed, double t) {
+  if (t < timed.onset) return 0.0;
+  if (timed.ramp <= 0.0) return 1.0;
+  const double a = (t - timed.onset) / timed.ramp;
+  return a < 1.0 ? a : 1.0;
+}
+
+FaultScenario active_structural_faults(const std::vector<TimedFault>& faults,
+                                       double t) {
+  FaultScenario active;
+  for (const TimedFault& timed : faults) {
+    if (timed.fault.kind != FaultKind::kChannelBlockage) continue;
+    if (t >= timed.onset) active.faults.push_back(timed.fault);
+  }
+  return active;
+}
+
+double timed_pressure_derate(const std::vector<TimedFault>& faults, double t) {
+  double derate = 1.0;
+  for (const TimedFault& timed : faults) {
+    if (timed.fault.kind != FaultKind::kPumpDroop) continue;
+    derate *= 1.0 - timed.fault.severity * timed_activation(timed, t);
+  }
+  return derate;
+}
+
+double timed_inlet_drift(const std::vector<TimedFault>& faults, double t) {
+  double drift = 0.0;
+  for (const TimedFault& timed : faults) {
+    if (timed.fault.kind != FaultKind::kInletDrift) continue;
+    drift += timed.fault.magnitude * timed_activation(timed, t);
+  }
+  return drift;
+}
+
+double timed_power_factor(const std::vector<TimedFault>& faults, double t,
+                          int source_layer) {
+  double factor = 1.0;
+  for (const TimedFault& timed : faults) {
+    if (timed.fault.kind != FaultKind::kPowerExcursion) continue;
+    if (timed.fault.layer != -1 && timed.fault.layer != source_layer) continue;
+    factor *= 1.0 + timed.fault.magnitude * timed_activation(timed, t);
+  }
+  return factor;
+}
+
 }  // namespace lcn

@@ -124,4 +124,41 @@ FaultScenario sample_scenario(const FaultDistribution& distribution,
 /// thread draws which scenario.
 Rng scenario_rng(std::uint64_t seed, std::size_t index);
 
+// --- Time-triggered faults (DESIGN.md §S23).
+//
+// A dynamic scenario schedules faults on the simulation clock: a blockage
+// appears at its onset time, a pump droop ramps in over `ramp` seconds, the
+// inlet drifts warmer as the facility loop loads up. Continuous fault kinds
+// (droop, drift, excursion) scale linearly with the activation; structural
+// faults (blockage) switch on at onset at full configured severity — a
+// partially ramped blockage would change the hydraulic structure every step.
+
+struct TimedFault {
+  double onset = 0.0;  ///< s on the scenario clock
+  double ramp = 0.0;   ///< s from onset to full effect; 0 = step change
+  Fault fault;
+};
+
+/// Activation of a timed fault at time t: 0 before onset, linear over the
+/// ramp, 1 afterwards.
+double timed_activation(const TimedFault& timed, double t);
+
+/// Structural (blockage) faults active at time t, at full severity.
+/// Feed to apply_scenario() when the active set changes.
+FaultScenario active_structural_faults(const std::vector<TimedFault>& faults,
+                                       double t);
+
+/// Commanded→delivered pressure factor at t: droop faults compose
+/// multiplicatively, each scaled by its activation.
+double timed_pressure_derate(const std::vector<TimedFault>& faults, double t);
+
+/// Additional inlet warming at t, K: drift magnitudes sum, each scaled by
+/// its activation.
+double timed_inlet_drift(const std::vector<TimedFault>& faults, double t);
+
+/// Power multiplier for one source layer at t: excursion faults hitting the
+/// layer (or all layers) compose multiplicatively.
+double timed_power_factor(const std::vector<TimedFault>& faults, double t,
+                          int source_layer);
+
 }  // namespace lcn

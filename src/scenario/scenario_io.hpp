@@ -1,0 +1,40 @@
+// NDJSON scenario files and sample-row formatting for the CLI/service layer
+// (DESIGN.md §S23). A scenario file is newline-delimited flat JSON — the
+// same dependency-free dialect the serving protocol speaks (§S22):
+//
+//   {"type":"scenario","model":"2rm","dt":1e-3,"steps":200,"scale":1.0,...}
+//   {"type":"periodic","period":0.1,"duty":0.5,"low":0.5,"high":1.0}
+//   {"type":"bursty","idle_scale":0.5,"burst_scale":1.5,"seed":7,...}
+//   {"type":"phase","scales":"1.0,2.0","duration":0.05,"pressure":6000}
+//   {"type":"pump","kind":"thermostat","t_target":345,"gain":500,...}
+//   {"type":"fault","kind":"blockage","onset":0.05,"row":10,"col":10,...}
+//
+// The first line must be the `scenario` header; every later line refines it.
+// `phase` lines switch the trace to kPhases and append in file order; a
+// `pressure` field on every phase line builds a kSchedule pump policy.
+// Blank lines and lines starting with '#' are skipped.
+#pragma once
+
+#include <string>
+
+#include "scenario/scenario.hpp"
+
+namespace lcn {
+
+/// Parse an NDJSON scenario description. Throws lcn::RuntimeError with a
+/// line-numbered message on malformed input.
+ScenarioConfig parse_scenario_text(const std::string& text);
+
+/// Read and parse a scenario file (throws lcn::RuntimeError on IO errors).
+ScenarioConfig load_scenario_file(const std::string& path);
+
+/// Column header matching scenario_sample_csv(), no trailing newline.
+std::string scenario_csv_header();
+
+/// One CSV row per sample, no trailing newline.
+std::string scenario_sample_csv(const ScenarioSample& sample);
+
+/// One flat JSON object per sample (for JSONL streams), no trailing newline.
+std::string scenario_sample_json(const ScenarioSample& sample);
+
+}  // namespace lcn

@@ -15,6 +15,15 @@ bool parse_submit(const JsonObject& obj, JobRequest& job, std::string& error) {
     job.kind = JobKind::kEvaluate;
   } else if (kind == "sweep") {
     job.kind = JobKind::kSweep;
+  } else if (kind == "scenario") {
+    job.kind = JobKind::kScenario;
+    // The NDJSON scenario description travels as one escaped string; it is
+    // parsed (and validated) when the job runs.
+    job.scenario_text = obj.get_string("scenario");
+    if (job.scenario_text.empty()) {
+      error = "scenario jobs need a non-empty 'scenario' description";
+      return false;
+    }
   } else {
     error = strfmt("unknown kind '%s'", kind.c_str());
     return false;
@@ -158,6 +167,13 @@ std::string result_json(std::uint64_t id, const JobResult& result) {
           "\"p_exceed_delta_t\":%.17g,\"unrecoverable\":%zu",
           result.scenarios, result.p_exceed_t_max, result.p_exceed_delta_t,
           result.unrecoverable);
+    }
+    if (result.scenario_steps > 0) {
+      out += strfmt(
+          ",\"scenario_steps\":%zu,\"peak_t_max\":%.17g,"
+          "\"peak_delta_t\":%.17g,\"final_inlet\":%.17g",
+          result.scenario_steps, result.peak_t_max, result.peak_delta_t,
+          result.final_inlet);
     }
   }
   out += strfmt(",\"seconds\":%.6f,\"start_order\":%llu", result.seconds,

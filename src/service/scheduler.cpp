@@ -11,6 +11,7 @@
 #include "common/timer.hpp"
 #include "network/generators.hpp"
 #include "reliability/sweep.hpp"
+#include "scenario/scenario_io.hpp"
 
 namespace lcn::service {
 
@@ -54,6 +55,7 @@ const char* job_kind_name(JobKind kind) {
     case JobKind::kDesign: return "design";
     case JobKind::kEvaluate: return "evaluate";
     case JobKind::kSweep: return "sweep";
+    case JobKind::kScenario: return "scenario";
   }
   return "?";
 }
@@ -430,6 +432,35 @@ void Scheduler::execute(Job& job) {
         local.scenarios = report.outcomes.size();
         local.unrecoverable = report.unrecoverable;
         local.evaluations = report.outcomes.size();
+        break;
+      }
+      case JobKind::kScenario: {
+        const TreeLayout layout =
+            default_layout(bench.problem.grid, req.b1, req.b2);
+        const CoolingNetwork net = optimizer.realize(layout, req.direction);
+        const ScenarioConfig config =
+            req.custom_scenario != nullptr
+                ? *req.custom_scenario
+                : parse_scenario_text(req.scenario_text);
+        // run_scenario mirrors every step to the session's progress sink as
+        // a scenario_step event, so a streaming submit sees the trajectory.
+        const ScenarioResult trajectory =
+            run_scenario(bench.problem, net, config);
+        local.feasible = true;
+        local.peak_t_max = trajectory.peak_t_max;
+        local.peak_delta_t = trajectory.peak_delta_t;
+        local.final_inlet = trajectory.final_inlet;
+        local.scenario_steps = static_cast<std::size_t>(trajectory.steps);
+        if (!trajectory.samples.empty()) {
+          const ScenarioSample& last = trajectory.samples.back();
+          local.t_max = last.t_max;
+          local.delta_t = last.delta_t;
+          local.p_sys = last.p_delivered;
+          local.w_pump = last.w_pump;
+        }
+        local.direction = req.direction;
+        local.design_hash = net.content_hash();
+        local.evaluations = trajectory.samples.size();
         break;
       }
     }

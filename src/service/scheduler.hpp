@@ -1,6 +1,6 @@
 // Fair-share job scheduler (DESIGN.md §S22, layer 2 of the serving stack).
 //
-// Jobs (design / evaluate / sweep) are queued with a priority and a
+// Jobs (design / evaluate / sweep / scenario) are queued with a priority and a
 // fair-share weight. A small set of runner threads executes one job each;
 // every running job gets a SessionContext whose pool_share is
 // max(1, W * weight / total_weight) of the LCN_THREADS pool width, recomputed
@@ -23,6 +23,7 @@
 #include "common/instrument.hpp"
 #include "common/task_context.hpp"
 #include "opt/sa.hpp"
+#include "scenario/scenario.hpp"
 #include "service/session.hpp"
 
 namespace lcn::service {
@@ -30,7 +31,8 @@ namespace lcn::service {
 enum class JobKind : std::uint8_t {
   kDesign = 0,   ///< full staged-SA topology design (Algorithm 1)
   kEvaluate = 1, ///< score one uniform-tree layout (DRC + flow + thermal)
-  kSweep = 2     ///< Monte-Carlo degradation sweep of a layout
+  kSweep = 2,    ///< Monte-Carlo degradation sweep of a layout
+  kScenario = 3  ///< dynamic-scenario co-simulation of a layout (§S23)
 };
 
 const char* job_kind_name(JobKind kind);
@@ -60,6 +62,9 @@ struct JobRequest {
   int direction = 0;  ///< D4 transform code of the evaluated layout
   SimConfig sim{ThermalModelKind::k2RM, 4};  ///< evaluate/sweep model
   int scenarios = 32;  ///< sweep: Monte-Carlo scenario count
+  /// Scenario jobs: the NDJSON scenario description (scenario_io.hpp). Wire
+  /// clients pass it as one escaped string; parsed when the job runs.
+  std::string scenario_text;
   /// Fair-share weight; 0 resolves to LCN_JOB_SHARES (default 1).
   int shares = 0;
   int priority = 0;  ///< higher runs first among queued jobs
@@ -76,6 +81,8 @@ struct JobRequest {
   std::shared_ptr<const BenchmarkCase> custom_case;
   /// Design jobs: use this schedule instead of the scale-derived default.
   std::vector<SaStage> custom_stages;
+  /// Scenario jobs: use this config instead of parsing scenario_text.
+  std::shared_ptr<const ScenarioConfig> custom_scenario;
 };
 
 struct JobResult {
@@ -98,6 +105,12 @@ struct JobResult {
   double p_exceed_delta_t = 0.0;
   std::size_t scenarios = 0;
   std::size_t unrecoverable = 0;
+
+  // Scenario trajectory reductions (kScenario only).
+  double peak_t_max = 0.0;
+  double peak_delta_t = 0.0;
+  double final_inlet = 0.0;
+  std::size_t scenario_steps = 0;
 
   double seconds = 0.0;
   /// 1-based order in which the scheduler started jobs (tests use it to

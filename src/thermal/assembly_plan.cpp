@@ -42,31 +42,51 @@ void ThermalAssemblyPlan::finalize(std::size_t nodes,
   pattern_ = sparse::SparsityPlan::analyze(n, n, merged);
 }
 
+void ThermalAssemblyPlan::replay_rhs(double p_sys,
+                                     const BoundaryState& boundary,
+                                     sparse::Vector& rhs) const {
+  LCN_REQUIRE(boundary.power_scale.empty() ||
+                  boundary.power_scale.size() == source_nodes.size(),
+              "boundary power scale must cover every source layer");
+  const double cv = volumetric_heat;
+  const bool scaled = !boundary.power_scale.empty();
+  rhs.assign(n, 0.0);
+  // Replay the ordered RHS contributions (same `+=` sequence as a fresh
+  // traversal). The nominal path adds power values verbatim — no `* 1.0`
+  // detour — so it stays bit-identical to the historical assembly.
+  for (const RhsOp& op : rhs_ops_) {
+    if (op.is_flow) {
+      const double q = op.value * p_sys;
+      rhs[op.node] += cv * q * boundary.inlet_temperature;
+    } else if (scaled && op.layer >= 0) {
+      rhs[op.node] +=
+          op.value * boundary.power_scale[static_cast<std::size_t>(op.layer)];
+    } else {
+      rhs[op.node] += op.value;
+    }
+  }
+}
+
 AssembledThermal ThermalAssemblyPlan::assemble(double p_sys) const {
+  return assemble(p_sys, nominal_boundary());
+}
+
+AssembledThermal ThermalAssemblyPlan::assemble(
+    double p_sys, const BoundaryState& boundary) const {
   LCN_REQUIRE(p_sys > 0.0, "P_sys must be positive");
   const WallTimer timer;
   const double cv = volumetric_heat;
 
   AssembledThermal out;
-  out.rhs.assign(n, 0.0);
   out.capacitance = capacitance;
   out.map_rows = map_rows;
   out.map_cols = map_cols;
   out.volumetric_heat = volumetric_heat;
-  out.inlet_temperature = inlet_temperature;
+  out.inlet_temperature = boundary.inlet_temperature;
   out.source_nodes = source_nodes;
   out.mg_hint = mg_hint;
 
-  // Replay the ordered RHS contributions (same `+=` sequence as a fresh
-  // traversal).
-  for (const RhsOp& op : rhs_ops_) {
-    if (op.is_flow) {
-      const double q = op.value * p_sys;
-      out.rhs[op.node] += cv * q * inlet_temperature;
-    } else {
-      out.rhs[op.node] += op.value;
-    }
-  }
+  replay_rhs(p_sys, boundary, out.rhs);
 
   out.outlet_terms.reserve(outlet_units_.size());
   for (const auto& [node, unit] : outlet_units_) {
@@ -94,6 +114,16 @@ AssembledThermal ThermalAssemblyPlan::assemble(double p_sys) const {
   instrument::add_assembly_refill();
   instrument::add_assembly(timer.seconds());
   return out;
+}
+
+void ThermalAssemblyPlan::refill_rhs(double p_sys,
+                                     const BoundaryState& boundary,
+                                     AssembledThermal& io) const {
+  LCN_REQUIRE(p_sys > 0.0, "P_sys must be positive");
+  LCN_REQUIRE(io.matrix.rows() == n, "refill_rhs: system/plan size mismatch");
+  replay_rhs(p_sys, boundary, io.rhs);
+  io.inlet_temperature = boundary.inlet_temperature;
+  instrument::add_rhs_refill();
 }
 
 }  // namespace lcn

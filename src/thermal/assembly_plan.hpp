@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sparse/sparsity_plan.hpp"
+#include "thermal/boundary.hpp"
 #include "thermal/field.hpp"
 
 namespace lcn {
@@ -38,12 +39,16 @@ class ThermalAssemblyPlan {
     kFull,       ///< cv * (unit * P)         (outlet self-term)
   };
 
-  /// One ordered RHS contribution: either a constant addend (power, ambient)
-  /// or an inlet enthalpy term rhs[node] += cv·(unit·P)·T_in.
+  /// One ordered RHS contribution: a constant addend (ambient), a die-power
+  /// addend (scalable per source layer by a BoundaryState), or an inlet
+  /// enthalpy term rhs[node] += cv·(unit·P)·T_in.
   struct RhsOp {
     std::size_t node;
     double value;  ///< constant addend, or unit flow when is_flow
     bool is_flow;
+    /// Source layer of a power addend (BoundaryState::power_scale index);
+    /// -1 for boundary-invariant constants (ambient) and for flow ops.
+    int layer;
   };
 
   /// Task-local recording buffer. The model traversal fills one Emitter per
@@ -74,10 +79,15 @@ class ThermalAssemblyPlan {
       slot_form.push_back(form);
     }
     void add_rhs_const(std::size_t node, double v) {
-      rhs_ops.push_back({node, v, false});
+      rhs_ops.push_back({node, v, false, -1});
+    }
+    /// Die-power addend, tagged with its source layer so a BoundaryState can
+    /// scale it at refill time. Nominal assembly adds the value verbatim.
+    void add_rhs_power(std::size_t node, double v, int source_layer) {
+      rhs_ops.push_back({node, v, false, source_layer});
     }
     void add_rhs_flow(std::size_t node, double unit) {
-      rhs_ops.push_back({node, unit, true});
+      rhs_ops.push_back({node, unit, true, -1});
     }
     void add_outlet(std::size_t node, double unit) {
       outlet_units.emplace_back(node, unit);
@@ -105,9 +115,32 @@ class ThermalAssemblyPlan {
   /// Numeric refill: bit-identical to a fresh traversal at `p_sys`.
   AssembledThermal assemble(double p_sys) const;
 
+  /// Refill under a per-step boundary: inlet enthalpy terms use
+  /// `boundary.inlet_temperature` and power addends are scaled per source
+  /// layer. With the plan's nominal inlet and no power scales this is
+  /// bit-identical to assemble(p_sys) (scaling by an exact 1.0 is exact).
+  AssembledThermal assemble(double p_sys, const BoundaryState& boundary) const;
+
+  /// Rewrite only `io.rhs` and `io.inlet_temperature` for a new boundary —
+  /// the matrix, outlet terms and inlet flow depend on P_sys alone, so a
+  /// step that changes power or inlet temperature but not pressure skips
+  /// the matrix refill entirely. `io` must have been assembled from this
+  /// plan at the same `p_sys`.
+  void refill_rhs(double p_sys, const BoundaryState& boundary,
+                  AssembledThermal& io) const;
+
+  /// The nominal per-step boundary (the problem's fixed inlet, unit power).
+  BoundaryState nominal_boundary() const {
+    return BoundaryState{inlet_temperature, {}};
+  }
+
   const sparse::SparsityPlan& pattern() const { return pattern_; }
 
  private:
+  /// Replay the ordered RHS `+=` sequence under a boundary into `rhs`.
+  void replay_rhs(double p_sys, const BoundaryState& boundary,
+                  sparse::Vector& rhs) const;
+
   std::vector<double> slot_value_;
   std::vector<SlotForm> slot_form_;
   std::vector<RhsOp> rhs_ops_;

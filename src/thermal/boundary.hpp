@@ -1,0 +1,31 @@
+// Per-step boundary state for time-varying simulation (DESIGN.md §S23).
+//
+// The static CoolingProblem fixes the inlet temperature and the nominal
+// power maps at assembly-plan build time. A dynamic scenario varies both
+// every step — the rack loop warms the inlet, the workload trace and the
+// throttle governor scale the die power — without ever changing the matrix
+// sparsity or the P_sys-dependent values. BoundaryState carries exactly the
+// per-step degrees of freedom that touch only the RHS, so the engine can
+// refill the right-hand side in place instead of reassembling the system.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lcn {
+
+struct BoundaryState {
+  /// Coolant temperature at the chip inlet for this step, K.
+  double inlet_temperature = 0.0;
+  /// Multiplier on each source layer's nominal power map (indexed by
+  /// Layer::source_index). Empty means nominal power on every layer.
+  std::vector<double> power_scale;
+
+  double scale_for(int source_layer) const {
+    return power_scale.empty()
+               ? 1.0
+               : power_scale[static_cast<std::size_t>(source_layer)];
+  }
+};
+
+}  // namespace lcn

@@ -460,7 +460,8 @@ std::shared_ptr<const ThermalAssemblyPlan> Thermal2RM::build_plan() const {
               power += map.at(r, c);
             }
           }
-          em.add_rhs_const(static_cast<std::size_t>(i_solid), power);
+          em.add_rhs_power(static_cast<std::size_t>(i_solid), power,
+                           layer.source_index);
         }
 
         // --- Ambient sink on top.

@@ -274,7 +274,8 @@ std::shared_ptr<const ThermalAssemblyPlan> Thermal4RM::build_plan() const {
           lc.layer->source_index)];
       for (int r = 0; r < grid.rows(); ++r) {
         for (int c = 0; c < grid.cols(); ++c) {
-          em.add_rhs_const(node(l, r, c), map.at(r, c));
+          em.add_rhs_power(node(l, r, c), map.at(r, c),
+                           lc.layer->source_index);
         }
       }
     }

@@ -258,5 +258,75 @@ TEST(ParetoArchive, ClearResetsPointsAndCounters) {
   EXPECT_EQ(archive.duplicates(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Transient-aware objective (§S23): t_peak as an optional 4th dimension.
+
+ParetoPoint transient_point(std::uint64_t design, double w, double dt,
+                            double tmax, double t_peak) {
+  ParetoPoint p = point(design, w, dt, tmax);
+  p.t_peak = t_peak;
+  return p;
+}
+
+TEST(ParetoTransient, TPeakBreaksSteadyDominance) {
+  // b is weakly worse than a in every steady objective, but its lower
+  // transient peak makes the two incomparable under the 4D order.
+  const ParetoPoint a = transient_point(1, 1.0, 2.0, 3.0, 320.0);
+  const ParetoPoint b = transient_point(2, 1.0, 2.0, 3.5, 310.0);
+  EXPECT_TRUE(pareto_dominates(a, b));  // steady order ignores t_peak
+  EXPECT_FALSE(pareto_dominates_transient(a, b));
+  EXPECT_FALSE(pareto_dominates_transient(b, a));
+  // With an equal t_peak the steady order is restored.
+  EXPECT_TRUE(pareto_dominates_transient(
+      a, transient_point(2, 1.0, 2.0, 3.5, 320.0)));
+}
+
+TEST(ParetoTransient, ArchiveModeControlsPruning) {
+  const ParetoPoint steady_better = transient_point(1, 1.0, 2.0, 3.0, 320.0);
+  const ParetoPoint transient_better =
+      transient_point(2, 1.5, 2.5, 3.5, 305.0);
+
+  ParetoArchive steady;  // default: 3 objectives
+  EXPECT_FALSE(steady.transient_objective());
+  EXPECT_EQ(steady.insert(steady_better), ArchiveInsert::kInserted);
+  EXPECT_EQ(steady.insert(transient_better), ArchiveInsert::kDominated);
+
+  ParetoArchive transient(true);  // t_peak counts: both survive
+  EXPECT_TRUE(transient.transient_objective());
+  EXPECT_EQ(transient.insert(steady_better), ArchiveInsert::kInserted);
+  EXPECT_EQ(transient.insert(transient_better), ArchiveInsert::kInserted);
+  EXPECT_EQ(transient.size(), 2u);
+
+  // A point worse in all four objectives is still pruned.
+  EXPECT_EQ(transient.insert(transient_point(3, 2.0, 3.0, 4.0, 330.0)),
+            ArchiveInsert::kDominated);
+  // Non-finite t_peak is rejected only when the objective is active.
+  const ParetoPoint bad_peak = transient_point(
+      4, 0.1, 0.1, 0.1, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(transient.insert(bad_peak), ArchiveInsert::kNotFinite);
+  EXPECT_EQ(steady.insert(bad_peak), ArchiveInsert::kInserted);
+}
+
+TEST(ParetoTransient, JsonlRoundTripCarriesTPeak) {
+  ParetoArchive archive(true);
+  archive.insert(transient_point(7, 0.25, 5.0, 350.0, 0x1.8p8));
+  archive.insert(transient_point(8, 0.5, 4.0, 351.0, 359.875));
+  const std::string path = temp_path("pareto_transient.jsonl");
+  archive.save_jsonl(path);
+
+  const ParetoArchive loaded = ParetoArchive::load_jsonl(path, true);
+  EXPECT_TRUE(loaded.transient_objective());
+  EXPECT_EQ(loaded.sorted(), archive.sorted());
+  std::remove(path.c_str());
+}
+
+TEST(ParetoTransient, LegacySnapshotLinesLoadWithZeroTPeak) {
+  const ParetoPoint p = ParetoArchive::parse_point(
+      "{\"design\":5,\"w_pump\":1,\"delta_t\":2,\"t_max\":3,\"p_sys\":4,"
+      "\"tag\":\"old\"}");
+  EXPECT_EQ(p.t_peak, 0.0);
+  EXPECT_EQ(p.design, 5u);
+}
+
 }  // namespace
 }  // namespace lcn

@@ -1,0 +1,395 @@
+// Tests for the dynamic-scenario engine (DESIGN.md §S23): steady
+// convergence, thread-count determinism, CDU inlet feedback, throttling,
+// pump slew limits, timed faults, boundary-refill bit-identity, and the
+// NDJSON scenario format.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "network/generators.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/scenario_io.hpp"
+#include "thermal/field.hpp"
+#include "thermal/model_2rm.hpp"
+#include "thermal/model_4rm.hpp"
+
+namespace lcn {
+namespace {
+
+CoolingProblem small_problem(int g = 31) {
+  CoolingProblem problem;
+  problem.grid = Grid2D(g, g, 100e-6);
+  problem.stack = make_interlayer_stack(2, 200e-6);
+  problem.source_power.push_back(synthesize_power_map(problem.grid, 4.0, 21));
+  problem.source_power.push_back(synthesize_power_map(problem.grid, 3.0, 22));
+  return problem;
+}
+
+std::vector<CoolingNetwork> replicate(const CoolingProblem& problem,
+                                      const CoolingNetwork& net) {
+  return std::vector<CoolingNetwork>(
+      static_cast<std::size_t>(problem.stack.channel_count()), net);
+}
+
+ScenarioConfig constant_config(ThermalModelKind model, double p_sys,
+                               int steps, double dt = 2e-3) {
+  ScenarioConfig config;
+  config.sim = SimConfig{model, 3};
+  config.dt = dt;
+  config.steps = steps;
+  config.trace.kind = TraceKind::kConstant;
+  config.trace.scale = 1.0;
+  config.pump.kind = PumpPolicyKind::kFixed;
+  config.pump.p_fixed = p_sys;
+  return config;
+}
+
+/// Exact-equality comparison of two trajectories, field by field.
+void expect_trajectories_identical(const ScenarioResult& a,
+                                   const ScenarioResult& b) {
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const ScenarioSample& x = a.samples[i];
+    const ScenarioSample& y = b.samples[i];
+    EXPECT_EQ(x.t_max, y.t_max) << "step " << i;
+    EXPECT_EQ(x.delta_t, y.delta_t) << "step " << i;
+    EXPECT_EQ(x.inlet_temperature, y.inlet_temperature) << "step " << i;
+    EXPECT_EQ(x.p_delivered, y.p_delivered) << "step " << i;
+    EXPECT_EQ(x.heat_to_coolant, y.heat_to_coolant) << "step " << i;
+    EXPECT_EQ(x.cdu_supply, y.cdu_supply) << "step " << i;
+  }
+  ASSERT_EQ(a.final_temps.size(), b.final_temps.size());
+  for (std::size_t i = 0; i < a.final_temps.size(); ++i) {
+    EXPECT_EQ(a.final_temps[i], b.final_temps[i]) << "node " << i;
+  }
+}
+
+class ScenarioThreads : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { set_global_pool_threads(GetParam()); }
+  static void TearDownTestSuite() { set_global_pool_threads(0); }
+};
+
+TEST_P(ScenarioThreads, ConstantPowerConvergesToSteady2RM) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  const double p_sys = 2000.0;
+
+  const Thermal2RM sim(problem, replicate(problem, net), 3);
+  const ThermalField steady = solve_steady(sim.assemble(p_sys));
+
+  const ScenarioResult result = run_scenario(
+      problem, net, constant_config(ThermalModelKind::k2RM, p_sys, 400));
+  ASSERT_EQ(result.steps, 400);
+  EXPECT_NEAR(result.samples.back().t_max, steady.t_max, 0.05);
+  EXPECT_NEAR(result.samples.back().delta_t, steady.delta_t, 0.05);
+  // Monotone heating from the cold start: the peak is the final sample.
+  EXPECT_EQ(result.peak_t_max, result.samples.back().t_max);
+}
+
+TEST_P(ScenarioThreads, ConstantPowerConvergesToSteady4RM) {
+  const CoolingProblem problem = small_problem(21);
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  const double p_sys = 2000.0;
+
+  const Thermal4RM sim(problem, replicate(problem, net));
+  const ThermalField steady = solve_steady(sim.assemble(p_sys));
+
+  const ScenarioResult result = run_scenario(
+      problem, net, constant_config(ThermalModelKind::k4RM, p_sys, 400));
+  EXPECT_NEAR(result.samples.back().t_max, steady.t_max, 0.05);
+  EXPECT_NEAR(result.samples.back().delta_t, steady.delta_t, 0.05);
+}
+
+TEST_P(ScenarioThreads, TrajectoryBitIdenticalAcrossThreadCounts) {
+  // A scenario exercising every feedback path at once: bursty power, a
+  // thermostat pump under a slew limit, throttling, a timed partial
+  // blockage, and the CDU loop closing through the inlet temperature.
+  const auto scenario = [] {
+    const CoolingProblem problem = small_problem();
+    const CoolingNetwork net = make_straight_channels(problem.grid);
+    ScenarioConfig config = constant_config(ThermalModelKind::k2RM, 3000.0,
+                                            60);
+    config.trace.kind = TraceKind::kBursty;
+    config.trace.seed = 9;
+    config.pump.kind = PumpPolicyKind::kThermostat;
+    config.pump.p_fixed = 3000.0;
+    config.pump.t_target = 315.0;
+    config.pump.gain = 400.0;
+    config.pump.slew_rate = 4e5;
+    config.throttle.t_throttle = 318.0;
+    config.throttle.t_critical = 326.0;
+    config.cdu_enabled = true;
+    TimedFault blockage;
+    blockage.onset = 0.05;
+    blockage.fault.kind = FaultKind::kChannelBlockage;
+    blockage.fault.row = 15;
+    blockage.fault.col = 15;
+    blockage.fault.radius = 2;
+    blockage.fault.severity = 0.5;
+    config.faults.push_back(blockage);
+    return run_scenario(problem, net, config);
+  };
+  static const ScenarioResult reference = [&] {
+    set_global_pool_threads(1);
+    return scenario();
+  }();
+  set_global_pool_threads(GetParam());
+  expect_trajectories_identical(reference, scenario());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ScenarioThreads,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{4}, std::size_t{8}),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(Scenario, CduInletRisesUnderSustainedLoad) {
+  // A weak heat exchanger cannot reject the chip's full load, so the
+  // recirculating coolant warms and the chip inlet temperature rises —
+  // the rack-level feedback a fixed-boundary simulation cannot show.
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  ScenarioConfig config = constant_config(ThermalModelKind::k2RM, 2000.0,
+                                          300, 1e-2);
+  config.cdu_enabled = true;
+  config.cdu.hx_ua = 0.2;           // weak HX: bottleneck of the loop
+  config.cdu.facility_flow = 2e-5;  // starved primary side
+  config.cdu.loop_volume = 1e-6;    // small loop => fast warm-up
+
+  const ScenarioResult result = run_scenario(problem, net, config);
+  // Pinned regression: the inlet must visibly rise above the nominal 300 K
+  // inlet, and keep rising through the horizon (sustained load, weak HX).
+  EXPECT_GT(result.final_inlet, problem.inlet_temperature + 1.0);
+  EXPECT_GT(result.samples.back().inlet_temperature,
+            result.samples[result.samples.size() / 2].inlet_temperature);
+  // The warmer inlet must feed back into the die temperature: the final
+  // T_max exceeds the fixed-inlet steady solution.
+  const Thermal2RM sim(problem, replicate(problem, net), 3);
+  const ThermalField steady = solve_steady(sim.assemble(2000.0));
+  EXPECT_GT(result.samples.back().t_max, steady.t_max + 0.5);
+}
+
+TEST(Scenario, ThrottleCapsTemperature) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  ScenarioConfig config = constant_config(ThermalModelKind::k2RM, 1500.0,
+                                          250);
+
+  const ScenarioResult unthrottled = run_scenario(problem, net, config);
+  ASSERT_GT(unthrottled.peak_t_max, 310.0);
+
+  config.throttle.t_throttle = 308.0;
+  config.throttle.t_critical = 312.0;
+  config.throttle.min_scale = 0.3;
+  const ScenarioResult throttled = run_scenario(problem, net, config);
+
+  EXPECT_LT(throttled.peak_t_max, unthrottled.peak_t_max);
+  // The governor actually engaged and reduced power.
+  double min_scale_seen = 1.0;
+  for (const ScenarioSample& s : throttled.samples) {
+    min_scale_seen = std::min(min_scale_seen, s.throttle_scale);
+  }
+  EXPECT_LT(min_scale_seen, 1.0);
+  EXPECT_GE(min_scale_seen, config.throttle.min_scale);
+}
+
+TEST(Scenario, SlewRateLimitsPumpCommand) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  ScenarioConfig config = constant_config(ThermalModelKind::k2RM, 1000.0, 40);
+  // Thermostat wants a big pressure jump immediately; the actuator may move
+  // at most slew_rate * dt per step.
+  config.pump.kind = PumpPolicyKind::kThermostat;
+  config.pump.p_fixed = 1000.0;
+  config.pump.t_target = 250.0;  // far below any temperature => max demand
+  config.pump.gain = 1e4;
+  config.pump.p_max = 20000.0;
+  config.pump.slew_rate = 5e5;
+
+  const ScenarioResult result = run_scenario(problem, net, config);
+  const double max_step = config.pump.slew_rate * config.dt;
+  for (std::size_t i = 1; i < result.samples.size(); ++i) {
+    const double delta = std::abs(result.samples[i].p_command -
+                                  result.samples[i - 1].p_command);
+    EXPECT_LE(delta, max_step * (1.0 + 1e-12)) << "step " << i;
+  }
+  // The command ramps rather than jumping: the first step cannot already be
+  // at the clamp ceiling.
+  EXPECT_LT(result.samples.front().p_command, config.pump.p_max);
+  EXPECT_NEAR(result.samples.back().p_command, config.pump.p_max, 1.0);
+}
+
+TEST(Scenario, TimedBlockageDivergesTrajectoryAtOnset) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  ScenarioConfig config = constant_config(ThermalModelKind::k2RM, 2000.0, 50);
+
+  const ScenarioResult pristine = run_scenario(problem, net, config);
+
+  TimedFault blockage;
+  blockage.onset = 25 * config.dt;  // strikes exactly at step 26's start
+  blockage.fault.kind = FaultKind::kChannelBlockage;
+  blockage.fault.row = 15;
+  blockage.fault.col = 15;
+  blockage.fault.radius = 3;
+  blockage.fault.severity = 0.7;
+  config.faults.push_back(blockage);
+  const ScenarioResult faulted = run_scenario(problem, net, config);
+
+  ASSERT_EQ(pristine.samples.size(), faulted.samples.size());
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(pristine.samples[i].t_max, faulted.samples[i].t_max)
+        << "pre-onset step " << i;
+  }
+  // Post-onset the degraded hydraulics run hotter; state carried across the
+  // rebuild (no restart transient from the 300 K initial condition).
+  EXPECT_GT(faulted.samples.back().t_max, pristine.samples.back().t_max);
+  EXPECT_GT(faulted.samples[25].t_max, faulted.samples[24].t_max);
+}
+
+TEST(Scenario, FullSeverityBlockageRejected) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  ScenarioConfig config = constant_config(ThermalModelKind::k2RM, 2000.0, 5);
+  TimedFault blockage;
+  blockage.fault.kind = FaultKind::kChannelBlockage;
+  blockage.fault.severity = 1.0;  // would remove nodes => state cannot carry
+  config.faults.push_back(blockage);
+  EXPECT_THROW(run_scenario(problem, net, config), ContractError);
+}
+
+TEST(Scenario, RhsRefillMatchesFullAssemble) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  const Thermal2RM sim(problem, replicate(problem, net), 3);
+
+  BoundaryState boundary;
+  boundary.inlet_temperature = 308.5;
+  boundary.power_scale = {1.3, 0.4};
+
+  const AssembledThermal direct = sim.plan().assemble(2500.0, boundary);
+  AssembledThermal refilled = sim.plan().assemble(2500.0);
+  sim.plan().refill_rhs(2500.0, boundary, refilled);
+
+  ASSERT_EQ(direct.rhs.size(), refilled.rhs.size());
+  for (std::size_t i = 0; i < direct.rhs.size(); ++i) {
+    EXPECT_EQ(direct.rhs[i], refilled.rhs[i]) << "node " << i;
+  }
+  EXPECT_EQ(direct.inlet_temperature, refilled.inlet_temperature);
+  // The matrix is untouched by an RHS refill.
+  EXPECT_EQ(direct.matrix.values(), refilled.matrix.values());
+}
+
+TEST(Scenario, NominalBoundaryAssembleBitIdentical) {
+  const CoolingProblem problem = small_problem();
+  const CoolingNetwork net = make_straight_channels(problem.grid);
+  const Thermal2RM sim(problem, replicate(problem, net), 3);
+
+  const AssembledThermal a = sim.plan().assemble(2000.0);
+  const AssembledThermal b =
+      sim.plan().assemble(2000.0, sim.plan().nominal_boundary());
+  ASSERT_EQ(a.rhs.size(), b.rhs.size());
+  for (std::size_t i = 0; i < a.rhs.size(); ++i) {
+    EXPECT_EQ(a.rhs[i], b.rhs[i]) << "node " << i;
+  }
+  EXPECT_EQ(a.matrix.values(), b.matrix.values());
+  EXPECT_EQ(a.inlet_temperature, b.inlet_temperature);
+}
+
+TEST(Scenario, PhaseTraceMatchesStepCount) {
+  ScenarioConfig config;
+  config.dt = 1e-3;
+  config.trace.kind = TraceKind::kPhases;
+  config.trace.phases = {{{1.0, 1.0}, 5.4e-3}, {{0.5, 0.5}, 2e-3}};
+  // ceil(5.4) + ceil(2) = 6 + 2
+  EXPECT_EQ(scenario_step_count(config), 8);
+  config.trace.kind = TraceKind::kConstant;
+  config.steps = 17;
+  EXPECT_EQ(scenario_step_count(config), 17);
+}
+
+TEST(ScenarioIo, ParsesFullDescription) {
+  const ScenarioConfig config = parse_scenario_text(
+      "# comment and blank lines are skipped\n"
+      "\n"
+      "{\"type\":\"scenario\",\"model\":\"4rm\",\"dt\":0.002,\"steps\":50,"
+      "\"cdu\":true,\"hx_ua\":1.5,\"t_throttle\":350,\"t_critical\":360}\n"
+      "{\"type\":\"phase\",\"scales\":\"1.0,0.5\",\"duration\":0.05,"
+      "\"pressure\":4000}\n"
+      "{\"type\":\"phase\",\"scales\":\"0.25, 0.75\",\"duration\":0.03,"
+      "\"pressure\":2500}\n"
+      "{\"type\":\"fault\",\"kind\":\"droop\",\"onset\":0.04,\"ramp\":0.01,"
+      "\"severity\":0.3}\n");
+  EXPECT_EQ(config.sim.model, ThermalModelKind::k4RM);
+  EXPECT_DOUBLE_EQ(config.dt, 0.002);
+  EXPECT_TRUE(config.cdu_enabled);
+  EXPECT_DOUBLE_EQ(config.cdu.hx_ua, 1.5);
+  EXPECT_DOUBLE_EQ(config.throttle.t_throttle, 350.0);
+  ASSERT_EQ(config.trace.kind, TraceKind::kPhases);
+  ASSERT_EQ(config.trace.phases.size(), 2u);
+  EXPECT_EQ(config.trace.phases[0].layer_scale,
+            (std::vector<double>{1.0, 0.5}));
+  EXPECT_EQ(config.trace.phases[1].layer_scale,
+            (std::vector<double>{0.25, 0.75}));
+  EXPECT_EQ(config.pump.kind, PumpPolicyKind::kSchedule);
+  EXPECT_EQ(config.pump.schedule, (std::vector<double>{4000.0, 2500.0}));
+  ASSERT_EQ(config.faults.size(), 1u);
+  EXPECT_EQ(config.faults[0].fault.kind, FaultKind::kPumpDroop);
+  EXPECT_DOUBLE_EQ(config.faults[0].onset, 0.04);
+  EXPECT_DOUBLE_EQ(config.faults[0].ramp, 0.01);
+}
+
+TEST(ScenarioIo, RejectsMalformedInput) {
+  // Missing header.
+  EXPECT_THROW(parse_scenario_text("{\"type\":\"pump\"}\n"), RuntimeError);
+  // Unknown model, reported with the line number.
+  try {
+    parse_scenario_text("{\"type\":\"scenario\",\"model\":\"9rm\"}\n");
+    FAIL() << "expected RuntimeError";
+  } catch (const RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  // Partial pump schedule: some phases carry pressure, some don't.
+  EXPECT_THROW(
+      parse_scenario_text(
+          "{\"type\":\"scenario\"}\n"
+          "{\"type\":\"phase\",\"scales\":\"1,1\",\"pressure\":100}\n"
+          "{\"type\":\"phase\",\"scales\":\"1,1\"}\n"),
+      RuntimeError);
+  // Bad scale list.
+  EXPECT_THROW(
+      parse_scenario_text("{\"type\":\"scenario\"}\n"
+                          "{\"type\":\"phase\",\"scales\":\"1,zap\"}\n"),
+      RuntimeError);
+  EXPECT_THROW(parse_scenario_text(""), RuntimeError);
+}
+
+TEST(ScenarioIo, SampleRowsRoundTripThroughFormats) {
+  ScenarioSample sample;
+  sample.step = 3;
+  sample.time = 0.006;
+  sample.t_max = 311.25;
+  sample.delta_t = 7.5;
+  sample.p_command = 2000.0;
+  sample.p_delivered = 1800.0;
+  sample.inlet_temperature = 300.5;
+  const std::string csv = scenario_sample_csv(sample);
+  EXPECT_NE(csv.find("311.25"), std::string::npos);
+  // CSV column count matches the header.
+  const auto count_commas = [](const std::string& s) {
+    std::size_t n = 0;
+    for (char c : s) n += c == ',';
+    return n;
+  };
+  EXPECT_EQ(count_commas(csv), count_commas(scenario_csv_header()));
+  const std::string json = scenario_sample_json(sample);
+  EXPECT_NE(json.find("\"t_max\":311.25"), std::string::npos);
+  EXPECT_NE(json.find("\"p_delivered\":1800"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lcn

@@ -459,6 +459,52 @@ TEST(ServiceProgress, SaIterEventsStreamToTheSessionSink) {
   EXPECT_EQ(sa_iters, 6u);
 }
 
+TEST(ServiceProgress, ScenarioJobStreamsPerStepSamples) {
+  Scheduler scheduler(Scheduler::Options{2});
+  RecordingSink sink;
+
+  JobRequest req;
+  req.kind = JobKind::kScenario;
+  req.sim = fast_sim();
+  auto bench = std::make_shared<BenchmarkCase>(service_case());
+  bench->constraints.delta_t_max = 30.0;
+  req.custom_case = std::move(bench);
+  auto scenario = std::make_shared<ScenarioConfig>();
+  scenario->sim = fast_sim();
+  scenario->dt = 2e-3;
+  scenario->steps = 12;
+  scenario->pump.p_fixed = 2000.0;
+  req.custom_scenario = scenario;
+
+  const std::uint64_t id = scheduler.submit(std::move(req), &sink);
+  const JobResult result = scheduler.wait(id);
+  ASSERT_EQ(result.status, JobStatus::kDone) << result.error;
+  EXPECT_EQ(result.scenario_steps, 12u);
+  EXPECT_GT(result.peak_t_max, 300.0);
+  EXPECT_GT(result.t_max, 300.0);
+  EXPECT_EQ(result.evaluations, 12u);
+  EXPECT_EQ(result.counters.scenario_steps, 12u);
+
+  for (int i = 0; i < 200; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(sink.mutex);
+      if (!sink.events.empty() && sink.events.back().first == "job_done")
+        break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  std::size_t steps_seen = 0;
+  for (const auto& [name, args] : sink.events) {
+    if (name == "scenario_step") {
+      ++steps_seen;
+      EXPECT_NE(args.find("\"t_max\":"), std::string::npos);
+      EXPECT_NE(args.find("\"inlet\":"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(steps_seen, 12u);
+}
+
 // ---------------------------------------------------------------------------
 // Wire protocol.
 
@@ -548,6 +594,19 @@ TEST(ServiceProtocol, RequestParsingValidatesFields) {
   EXPECT_DOUBLE_EQ(request.job.timeout_seconds, 30.0);
   EXPECT_TRUE(request.stream);
   EXPECT_EQ(request.job.name, "tenant-a");
+
+  // Scenario jobs carry their NDJSON description as one escaped string.
+  ASSERT_TRUE(service::parse_request(
+      R"({"op":"submit","kind":"scenario",)"
+      R"("scenario":"{\"type\":\"scenario\",\"steps\":5}\n"})",
+      request, error))
+      << error;
+  EXPECT_EQ(request.job.kind, JobKind::kScenario);
+  EXPECT_EQ(request.job.scenario_text,
+            "{\"type\":\"scenario\",\"steps\":5}\n");
+  // ...and are rejected without one.
+  EXPECT_FALSE(service::parse_request(
+      R"({"op":"submit","kind":"scenario"})", request, error));
 
   ASSERT_TRUE(
       service::parse_request(R"({"op":"cancel","job":7})", request, error));
