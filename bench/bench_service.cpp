@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "geom/benchmarks.hpp"
@@ -86,15 +87,8 @@ int main() {
     row.lanes = lanes;
     row.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
     row.throughput = row.seconds > 0.0 ? jobs / row.seconds : 0.0;
-    std::sort(run_seconds.begin(), run_seconds.end());
-    const auto at = [&](double q) {
-      const std::size_t i = std::min(
-          run_seconds.size() - 1,
-          static_cast<std::size_t>(q * static_cast<double>(run_seconds.size())));
-      return run_seconds[i];
-    };
-    row.p50 = at(0.50);
-    row.p95 = at(0.95);
+    row.p50 = metrics::sample_quantile(run_seconds, 0.50);
+    row.p95 = metrics::sample_quantile(run_seconds, 0.95);
     rows.push_back(row);
 
     benchutil::PerfRecord record;

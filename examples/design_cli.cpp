@@ -18,6 +18,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -185,6 +186,9 @@ int run_scenario_mode(const CliOptions& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Ring-overflow data loss in a recorded trace must not be silent; every
+  // exit path (including Ctrl-C unwinds) gets the one-line warning.
+  std::atexit(trace::warn_if_dropped);
   CliOptions options;
   if (!parse_args(argc, argv, options)) {
     std::printf(

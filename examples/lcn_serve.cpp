@@ -9,9 +9,11 @@
 // delivers its result, then the process exits 0.
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/trace.hpp"
 #include "service/server.hpp"
 
 namespace {
@@ -26,6 +28,9 @@ void on_signal(int /*sig*/) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Ring-overflow data loss in a recorded trace must not be silent; every
+  // exit path gets the one-line warning.
+  std::atexit(lcn::trace::warn_if_dropped);
   lcn::service::ServerOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

@@ -7,12 +7,20 @@ Standard library only. One JSON object per line in both directions:
   lcn_client.py --addr unix:/tmp/lcn.sock submit --kind evaluate --case 1
   lcn_client.py --addr tcp:127.0.0.1:7733 result --job 3
   lcn_client.py --addr tcp:127.0.0.1:7733 smoke --scale 0.005
+  lcn_client.py --addr tcp:127.0.0.1:7733 metrics
+  lcn_client.py --addr tcp:127.0.0.1:7733 scrape
 
 The `smoke` mode is what CI runs against an asan build of the daemon: it
 submits two concurrent *streamed* design jobs at a tiny SA scale, then reads
 the multiplexed event stream off the single connection and checks that every
 job acks, starts, emits sa_iter progress, and lands a final `done` result.
 Exits nonzero on any failure or on hitting --timeout.
+
+`metrics` fetches the JSON metrics snapshot over the NDJSON protocol and
+validates its shape. `scrape` speaks raw HTTP to the same port (the daemon
+co-hosts a Prometheus text endpoint, DESIGN.md S24) and validates the
+exposition with a stdlib-only parser: every histogram's buckets must be
+cumulative and its `+Inf` bucket must equal `_count`.
 """
 
 import argparse
@@ -95,6 +103,172 @@ def submit_request(args):
     if args.job_timeout > 0:
         request["timeout"] = args.job_timeout
     return request
+
+
+def metrics_op(args):
+    """Fetch the JSON metrics snapshot ({"op":"metrics"}) and validate it."""
+    channel = LineChannel(connect(args.addr, args.timeout))
+    channel.send({"op": "metrics"})
+    reply = channel.recv(deadline=time.monotonic() + args.timeout)
+    if reply is None:
+        print("error: server closed the connection", file=sys.stderr)
+        return 1
+    print(json.dumps(reply, indent=2 if args.pretty else None))
+    failures = []
+    if not reply.get("ok"):
+        failures.append("reply is not ok: %r" % reply.get("error"))
+    snap = reply.get("metrics")
+    if not isinstance(snap, dict):
+        failures.append("missing 'metrics' object")
+    else:
+        for section in ("histograms", "gauges", "counters"):
+            if not isinstance(snap.get(section), dict):
+                failures.append("metrics.%s is missing" % section)
+        for name, hist in snap.get("histograms", {}).items():
+            buckets = hist.get("buckets", {})
+            if sum(buckets.values()) != hist.get("count"):
+                failures.append(
+                    "%s: bucket sum %d != count %r" % (
+                        name, sum(buckets.values()), hist.get("count")))
+    if "counters" not in reply:
+        failures.append("missing top-level instrument 'counters'")
+    if "manifest" not in reply:
+        failures.append("missing 'manifest'")
+    for failure in failures:
+        print("FAIL: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+def parse_prometheus(text):
+    """Parse text exposition format 0.0.4 into (types, samples, errors).
+
+    types:   metric family name -> declared type
+    samples: series name -> list of (labels_dict, value) in document order
+    """
+    types, samples, errors = {}, {}, []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        brace = line.find("{")
+        labels = {}
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                errors.append("line %d: unbalanced braces: %r" % (
+                    lineno, line))
+                continue
+            name = line[:brace]
+            for part in line[brace + 1:close].split(","):
+                if not part:
+                    continue
+                key, eq, val = part.partition("=")
+                if not eq or len(val) < 2 or val[0] != '"' or val[-1] != '"':
+                    errors.append("line %d: bad label %r" % (lineno, part))
+                    break
+                labels[key] = val[1:-1]
+            rest = line[close + 1:].split()
+        else:
+            fields = line.split()
+            name, rest = fields[0], fields[1:]
+        if len(rest) not in (1, 2):  # optional trailing timestamp
+            errors.append("line %d: expected 'name value': %r" % (
+                lineno, line))
+            continue
+        try:
+            value = float(rest[0])
+        except ValueError:
+            errors.append("line %d: non-numeric value %r" % (
+                lineno, rest[0]))
+            continue
+        samples.setdefault(name, []).append((labels, value))
+    return types, samples, errors
+
+
+def check_histograms(types, samples):
+    """Cross-check every declared histogram family; return failure strings."""
+    failures = []
+    histogram_families = [n for n, t in types.items() if t == "histogram"]
+    if not histogram_families:
+        failures.append("no histogram families in the exposition")
+    for family in histogram_families:
+        buckets = samples.get(family + "_bucket", [])
+        if not buckets:
+            failures.append("%s: no _bucket series" % family)
+            continue
+        # Buckets arrive in le order; counts must be cumulative and the
+        # +Inf bucket must equal _count (text format 0.0.4).
+        previous, inf_value = 0.0, None
+        for labels, value in buckets:
+            le = labels.get("le")
+            if le is None:
+                failures.append("%s: bucket without le label" % family)
+                continue
+            if value < previous:
+                failures.append(
+                    "%s: bucket le=%s count %g < previous %g "
+                    "(not cumulative)" % (family, le, value, previous))
+            previous = value
+            if le == "+Inf":
+                inf_value = value
+        count = samples.get(family + "_count", [({}, None)])[0][1]
+        total = samples.get(family + "_sum", [({}, None)])[0][1]
+        if count is None or total is None:
+            failures.append("%s: missing _count or _sum" % family)
+        elif inf_value is None:
+            failures.append("%s: no le=\"+Inf\" bucket" % family)
+        elif inf_value != count:
+            failures.append("%s: +Inf bucket %g != _count %g" % (
+                family, inf_value, count))
+        if total is not None and count == 0 and total != 0:
+            failures.append("%s: zero count but nonzero _sum %g" % (
+                family, total))
+    return failures
+
+
+def scrape(args):
+    """HTTP-GET /metrics off the daemon and validate the Prometheus text."""
+    sock = connect(args.addr, args.timeout)
+    sock.sendall(b"GET /metrics HTTP/1.0\r\nHost: lcn\r\n\r\n")
+    raw = b""
+    while True:  # HTTP/1.0: the server closes after the body
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        raw += chunk
+    sock.close()
+    header, sep, body = raw.partition(b"\r\n\r\n")
+    if not sep:
+        print("FAIL: no HTTP header/body separator in response",
+              file=sys.stderr)
+        return 1
+    status_line = header.split(b"\r\n", 1)[0].decode("latin-1")
+    if " 200 " not in status_line + " ":
+        print("FAIL: expected 200, got %r" % status_line, file=sys.stderr)
+        return 1
+    text = body.decode("utf-8")
+    if not args.quiet:
+        sys.stdout.write(text)
+    types, samples, errors = parse_prometheus(text)
+    failures = ["parse: " + e for e in errors]
+    failures += check_histograms(types, samples)
+    counters = [n for n, t in types.items() if t == "counter"]
+    if not counters:
+        failures.append("no counter families in the exposition")
+    for failure in failures:
+        print("FAIL: %s" % failure, file=sys.stderr)
+    if not failures:
+        print("scrape ok: %d families (%d histograms), %d series, %d samples"
+              % (len(types),
+                 sum(1 for t in types.values() if t == "histogram"),
+                 len(samples),
+                 sum(len(v) for v in samples.values())), file=sys.stderr)
+    return 1 if failures else 0
 
 
 def smoke(args):
@@ -186,7 +360,7 @@ def main():
                         help="indent one-shot replies")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    for op in ("ping", "list", "shutdown"):
+    for op in ("ping", "list", "shutdown", "metrics"):
         sub.add_parser(op)
     for op in ("status", "result", "cancel"):
         p = sub.add_parser(op)
@@ -210,10 +384,18 @@ def main():
     p.add_argument("--case", type=int, default=1)
     p.add_argument("--scale", type=float, default=0.005)
 
+    p = sub.add_parser("scrape")
+    p.add_argument("--quiet", action="store_true",
+                   help="validate only, do not echo the exposition")
+
     args = parser.parse_args()
     try:
         if args.command == "smoke":
             return smoke(args)
+        if args.command == "metrics":
+            return metrics_op(args)
+        if args.command == "scrape":
+            return scrape(args)
         if args.command == "submit":
             return one_shot(args, submit_request(args))
         request = {"op": args.command}

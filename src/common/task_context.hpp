@@ -28,6 +28,10 @@ namespace instrument {
 struct CounterShard;  // common/instrument.hpp
 }
 
+namespace metrics {
+struct MetricShard;  // common/metrics.hpp
+}
+
 /// Receives per-iteration progress events (the sa_iter stream of §S19) for
 /// one session, independent of the process-wide trace sink. `args` follows
 /// the trace convention: the *inside* of a JSON object, or nullptr/"".
@@ -55,6 +59,9 @@ struct TaskContext {
   /// Session counter shard; add_* in common/instrument bills both this shard
   /// and the process-wide counters when set.
   instrument::CounterShard* counters = nullptr;
+  /// Session metrics shard (§S24); metrics::observe()/count() bill both this
+  /// shard and the process-wide registry when set.
+  metrics::MetricShard* metrics = nullptr;
   /// Cooperative cancellation flag (owned by the scheduler job / the CLI's
   /// SIGINT handler). Checked at coordinator loop boundaries, never inside
   /// parallel kernels, so partial results are never observed.

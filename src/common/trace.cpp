@@ -12,6 +12,7 @@
 #include "common/assert.hpp"
 #include "common/env.hpp"
 #include "common/instrument.hpp"
+#include "common/log.hpp"
 #include "common/manifest.hpp"
 #include "common/strings.hpp"
 
@@ -281,6 +282,16 @@ void Span::set_args(const std::string& args_json) {
   if (!active_) return;
   copy_args(args_, args_json.c_str());
   has_args_ = true;
+}
+
+void warn_if_dropped() {
+  const instrument::Snapshot snap = instrument::snapshot();
+  if (snap.trace_events_dropped == 0) return;
+  LCN_WARN() << "trace rings overflowed: " << snap.trace_events_dropped
+             << " of "
+             << (snap.trace_events_emitted + snap.trace_events_dropped)
+             << " events dropped — raise LCN_TRACE_RING or lower "
+                "LCN_TRACE_LEVEL for a complete trace";
 }
 
 }  // namespace lcn::trace

@@ -80,6 +80,12 @@ void flush();
 /// True between start() and stop().
 bool active();
 
+/// Log a one-line warning when any trace events were lost to ring overflow
+/// (instrument::trace_events_dropped > 0), so data loss in a recorded trace
+/// is never silent. Intended for process exit paths (design_cli, lcn_serve)
+/// after the sink is stopped; no-op when nothing was dropped.
+void warn_if_dropped();
+
 // Recording primitives. `args` is the *inside* of a JSON object — e.g.
 // "\"iters\":12,\"rel\":1e-11" — or nullptr/"" for no args; it is copied
 // into the event, so callers may pass temporaries. Arguments longer than the

@@ -2,6 +2,7 @@
 
 #include "common/bits.hpp"
 #include "common/instrument.hpp"
+#include "common/metrics.hpp"
 
 namespace lcn {
 
@@ -79,6 +80,8 @@ EvalCacheKey make_eval_key(std::uint64_t problem_fp,
 }
 
 std::optional<EvalResult> EvaluatorCache::find(const EvalCacheKey& key) const {
+  const metrics::ScopedLatency latency(metrics::Hist::cache_lookup_seconds,
+                                       metrics::kFine);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = map_.find(key);

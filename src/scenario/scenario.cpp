@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/instrument.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/task_context.hpp"
@@ -285,6 +286,8 @@ ScenarioResult run_scenario(const CoolingProblem& problem,
 
   for (int step = 1; step <= total_steps; ++step) {
     throw_if_cancelled();
+    const metrics::ScopedLatency step_latency(
+        metrics::Hist::scenario_step_seconds);
     const double t0 = (step - 1) * dt;
 
     // --- Structural faults: rebuild the degraded model when the active

@@ -1,5 +1,6 @@
 #include "service/protocol.hpp"
 
+#include "common/manifest.hpp"
 #include "common/strings.hpp"
 #include "service/json.hpp"
 
@@ -118,6 +119,10 @@ bool parse_request(const std::string& line, Request& out, std::string& error) {
     out.op = Request::Op::kPing;
     return true;
   }
+  if (op == "metrics") {
+    out.op = Request::Op::kMetrics;
+    return true;
+  }
   if (op == "shutdown") {
     out.op = Request::Op::kShutdown;
     return true;
@@ -179,7 +184,17 @@ std::string result_json(std::uint64_t id, const JobResult& result) {
   out += strfmt(",\"seconds\":%.6f,\"start_order\":%llu", result.seconds,
                 static_cast<unsigned long long>(result.start_order));
   out += ",\"counters\":" + result.counters.json();
+  out += ",\"metrics\":" + result.metrics.json();
   if (!result.manifest.empty()) out += ",\"manifest\":" + result.manifest;
+  out += '}';
+  return out;
+}
+
+std::string metrics_json(const metrics::MetricsSnapshot& metrics,
+                         const instrument::Snapshot& counters) {
+  std::string out = "{\"ok\":true,\"metrics\":" + metrics.json();
+  out += ",\"counters\":" + counters.json();
+  out += ",\"manifest\":" + run_manifest().json();
   out += '}';
   return out;
 }

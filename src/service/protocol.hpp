@@ -4,7 +4,7 @@
 //   {"op":"submit","kind":"design","case":2,"objective":"p1","scale":0.05,
 //    "seed":7,"shares":2,"priority":0,"timeout":30,"stream":true}
 //   {"op":"status","job":3}   {"op":"result","job":3}   {"op":"cancel","job":3}
-//   {"op":"list"}             {"op":"ping"}              {"op":"shutdown"}
+//   {"op":"list"}   {"op":"ping"}   {"op":"metrics"}   {"op":"shutdown"}
 //
 // Responses are one JSON object per line with "ok":true|false. A streaming
 // submit additionally receives "event" lines ({"event":"sa_iter",...},
@@ -26,7 +26,8 @@ struct Request {
     kCancel = 3,
     kList = 4,
     kPing = 5,
-    kShutdown = 6
+    kShutdown = 6,
+    kMetrics = 7
   };
 
   Op op = Op::kPing;
@@ -59,5 +60,11 @@ std::string job_list_json(const std::vector<Scheduler::JobInfo>& jobs);
 /// {"event":"<name>","job":N,<args>} — progress stream line.
 std::string event_json(const char* name, std::uint64_t job_id,
                        const char* args);
+
+/// {"ok":true,"metrics":{...},"counters":{...},"manifest":{...}} — the
+/// process-wide metrics registry (§S24), instrument counters and run
+/// manifest as one snapshot line for the `metrics` op.
+std::string metrics_json(const metrics::MetricsSnapshot& metrics,
+                         const instrument::Snapshot& counters);
 
 }  // namespace lcn::service

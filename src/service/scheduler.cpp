@@ -48,6 +48,16 @@ void fill_eval_fields(JobResult& result, const EvalResult& eval) {
   result.delta_t = eval.at_p.delta_t;
 }
 
+metrics::Hist job_latency_hist(JobKind kind) {
+  switch (kind) {
+    case JobKind::kDesign: return metrics::Hist::job_design_seconds;
+    case JobKind::kEvaluate: return metrics::Hist::job_evaluate_seconds;
+    case JobKind::kSweep: return metrics::Hist::job_sweep_seconds;
+    case JobKind::kScenario: return metrics::Hist::job_scenario_seconds;
+  }
+  return metrics::Hist::job_evaluate_seconds;
+}
+
 }  // namespace
 
 const char* job_kind_name(JobKind kind) {
@@ -91,6 +101,7 @@ Scheduler::Scheduler(Options options) {
   pool_width_ = std::max<std::size_t>(1, global_pool_threads());
   retain_jobs_ = static_cast<std::size_t>(
       std::max(1L, env_int("LCN_JOB_HISTORY", 1024)));
+  slo_seconds_ = std::max(0.0, env_double("LCN_SLO_SECONDS", 0.0));
   const auto hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   max_running_ =
       options.max_running != 0
@@ -119,6 +130,7 @@ Scheduler::~Scheduler() {
       job->result.error = "scheduler shut down";
     }
     queue_.clear();
+    publish_gauges_locked();
     for (auto& [id, job] : jobs_) {
       if (job->status == JobStatus::kRunning && job->session != nullptr) {
         job->session->request_cancel();
@@ -135,7 +147,10 @@ Scheduler::~Scheduler() {
 
 std::uint64_t Scheduler::submit(JobRequest request, ProgressSink* sink) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!accepting_) return 0;
+  if (!accepting_) {
+    metrics::count(metrics::Counter::jobs_rejected);
+    return 0;
+  }
   const std::uint64_t id = next_id_++;
   auto job = std::make_unique<Job>();
   job->id = id;
@@ -145,6 +160,7 @@ std::uint64_t Scheduler::submit(JobRequest request, ProgressSink* sink) {
   jobs_.emplace(id, std::move(job));
   queue_.push_back(id);
   gc_terminal_locked();
+  publish_gauges_locked();
   work_cv_.notify_one();
   return id;
 }
@@ -162,6 +178,7 @@ bool Scheduler::cancel(std::uint64_t id) {
       job->result.status = JobStatus::kCancelled;
       job->result.error = "cancelled before start";
       became_terminal = true;
+      publish_gauges_locked();
     } else if (job->session != nullptr) {
       job->session->request_cancel();
     }
@@ -252,6 +269,13 @@ void Scheduler::gc_terminal_locked() {
   }
 }
 
+void Scheduler::publish_gauges_locked() const {
+  metrics::gauge_set(metrics::Gauge::queue_depth,
+                     static_cast<std::int64_t>(queue_.size()));
+  metrics::gauge_set(metrics::Gauge::running_jobs,
+                     static_cast<std::int64_t>(running_count_));
+}
+
 void Scheduler::rebalance_locked() {
   // Weighted fair share of the pool width over running jobs (§S22):
   // share_i = max(1, W * weight_i / total_weight). Shares are advisory caps
@@ -317,6 +341,7 @@ void Scheduler::runner_loop() {
       }
       ++running_count_;
       rebalance_locked();
+      publish_gauges_locked();
     }
 
     execute(*job);
@@ -325,6 +350,7 @@ void Scheduler::runner_loop() {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_count_;
       rebalance_locked();
+      publish_gauges_locked();
     }
     done_cv_.notify_all();
   }
@@ -347,6 +373,7 @@ void Scheduler::watchdog_loop() {
       if (now >= job->deadline) {
         job->deadline_hit = true;
         job->session->request_cancel();
+        metrics::count(metrics::Counter::deadline_misses);
       }
     }
   }
@@ -482,8 +509,17 @@ void Scheduler::execute(Job& job) {
   }
 
   local.seconds = timer.seconds();
+  // Billed under the session scope, so the job's own shard carries its
+  // latency too; snapshotted below so the result reflects it.
+  if (metrics::enabled()) {
+    metrics::observe(job_latency_hist(job.request.kind), local.seconds);
+  }
+  if (slo_seconds_ > 0.0 && local.seconds > slo_seconds_) {
+    metrics::count(metrics::Counter::slo_breaches);
+  }
   local.error = error;
   local.counters = session.counters().snapshot();
+  local.metrics = session.metrics().snapshot();
   local.manifest = session.manifest_json();
   local.status = final_status;
 

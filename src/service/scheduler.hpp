@@ -116,8 +116,9 @@ struct JobResult {
   /// 1-based order in which the scheduler started jobs (tests use it to
   /// prove concurrency without relying on wall clocks).
   std::uint64_t start_order = 0;
-  instrument::Snapshot counters;  ///< the session shard at completion
-  std::string manifest;           ///< SessionContext::manifest_json()
+  instrument::Snapshot counters;     ///< the session shard at completion
+  metrics::MetricsSnapshot metrics;  ///< the session metric shard (§S24)
+  std::string manifest;              ///< SessionContext::manifest_json()
 };
 
 class Scheduler {
@@ -176,6 +177,8 @@ class Scheduler {
   Job* find_locked(std::uint64_t id) const;
   /// Recompute every running job's pool share from the live weight total.
   void rebalance_locked();
+  /// Publish queue depth / running jobs to the metrics gauges (§S24).
+  void publish_gauges_locked() const;
   /// Retire the oldest terminal jobs once the history exceeds the retention
   /// cap, so a long-lived daemon's job map stays bounded.
   void gc_terminal_locked();
@@ -184,6 +187,7 @@ class Scheduler {
   std::size_t max_running_ = 2;
   std::size_t pool_width_ = 1;
   std::size_t retain_jobs_ = 1024;  ///< LCN_JOB_HISTORY
+  double slo_seconds_ = 0.0;        ///< LCN_SLO_SECONDS (0 = no SLO)
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;      ///< runners: queue or stop changed

@@ -15,7 +15,9 @@
 
 #include "common/assert.hpp"
 #include "common/env.hpp"
+#include "common/instrument.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/strings.hpp"
 #include "service/protocol.hpp"
 
@@ -67,6 +69,21 @@ ParsedAddress parse_address(const std::string& address) {
       address.c_str()));
 }
 
+/// Minimal HTTP/1.0 response framing for the Prometheus scrape: respond,
+/// then close (the NDJSON reader never parses request headers, so the
+/// connection cannot be reused for protocol traffic afterwards).
+std::string http_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::string out = strfmt(
+      "HTTP/1.0 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      status, reason, content_type, body.size());
+  out += body;
+  return out;
+}
+
 }  // namespace
 
 /// One client connection. Writes are serialized by `write_mutex` so response
@@ -81,12 +98,17 @@ struct Server::Connection {
   }
 
   void write_line(const std::string& line) {
-    std::lock_guard<std::mutex> lock(write_mutex);
-    if (closed.load(std::memory_order_relaxed)) return;
     std::string framed = line;
     framed += '\n';
-    const char* data = framed.data();
-    std::size_t remaining = framed.size();
+    write_raw(framed);
+  }
+
+  /// Unframed write (the HTTP exposition path frames itself with headers).
+  void write_raw(const std::string& data_str) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (closed.load(std::memory_order_relaxed)) return;
+    const char* data = data_str.data();
+    std::size_t remaining = data_str.size();
     while (remaining > 0) {
       // MSG_NOSIGNAL: a vanished client surfaces as EPIPE, not SIGPIPE.
       const ssize_t n =
@@ -262,11 +284,13 @@ void Server::run() {
                  sizeof(send_timeout));
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    metrics::gauge_add(metrics::Gauge::client_connections, 1);
     std::lock_guard<std::mutex> lock(mutex_);
     connections_.push_back(conn);
     threads_.emplace_back([this, conn] {
       serve_connection(conn);
       conn->close_now();
+      metrics::gauge_add(metrics::Gauge::client_connections, -1);
       std::lock_guard<std::mutex> cleanup_lock(mutex_);
       connections_.erase(
           std::remove(connections_.begin(), connections_.end(), conn),
@@ -345,6 +369,27 @@ void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
 
 bool Server::handle_line(const std::shared_ptr<Connection>& conn,
                          const std::string& line) {
+  // Prometheus co-hosting: an HTTP GET on the NDJSON socket is answered
+  // with one text-exposition page (format 0.0.4) and the connection closes
+  // (HTTP/1.0 style; the reader never parses the request headers).
+  if (line.rfind("GET ", 0) == 0) {
+    std::string path = line.substr(4);
+    const std::size_t space = path.find(' ');
+    if (space != std::string::npos) path.resize(space);
+    if (path == "/metrics") {
+      metrics::count(metrics::Counter::metrics_scrapes);
+      const std::string body = metrics::prometheus_text(
+          metrics::global_shard().snapshot(), instrument::snapshot(),
+          metrics::manifest_labels());
+      conn->write_raw(http_response(
+          200, "OK", "text/plain; version=0.0.4; charset=utf-8", body));
+    } else {
+      conn->write_raw(http_response(404, "Not Found", "text/plain",
+                                    "only /metrics is served\n"));
+    }
+    return false;
+  }
+
   Request request;
   std::string parse_error;
   if (!parse_request(line, request, parse_error)) {
@@ -396,6 +441,11 @@ bool Server::handle_line(const std::shared_ptr<Connection>& conn,
       return true;
     case Request::Op::kPing:
       conn->write_line("{\"ok\":true}");
+      return true;
+    case Request::Op::kMetrics:
+      metrics::count(metrics::Counter::metrics_scrapes);
+      conn->write_line(metrics_json(metrics::global_shard().snapshot(),
+                                    instrument::snapshot()));
       return true;
     case Request::Op::kShutdown:
       conn->write_line("{\"ok\":true,\"draining\":true}");

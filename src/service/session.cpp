@@ -12,6 +12,7 @@ SessionContext::SessionContext(std::uint64_t id, SessionConfig config)
     flow_plans_ = std::make_unique<FlowPlanCache>();
   }
   ctx_.counters = &counters_;
+  ctx_.metrics = &metrics_;
   ctx_.cancel = &cancel_;
   ctx_.pool_share = &pool_share_;
   ctx_.flow_plans = flow_plans_.get();

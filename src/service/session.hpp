@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/instrument.hpp"
+#include "common/metrics.hpp"
 #include "common/task_context.hpp"
 #include "flow/flow_plan.hpp"
 
@@ -46,6 +47,7 @@ class SessionContext {
   const SessionConfig& config() const { return config_; }
 
   instrument::CounterShard& counters() { return counters_; }
+  metrics::MetricShard& metrics() { return metrics_; }
   /// The session's private flow-plan shard, nullptr when it shares the
   /// process-wide cache.
   FlowPlanCache* flow_plans() { return flow_plans_.get(); }
@@ -80,6 +82,7 @@ class SessionContext {
   std::uint64_t id_;
   SessionConfig config_;
   instrument::CounterShard counters_;
+  metrics::MetricShard metrics_;
   std::unique_ptr<FlowPlanCache> flow_plans_;
   std::atomic<bool> cancel_{false};
   std::atomic<std::size_t> pool_share_{0};

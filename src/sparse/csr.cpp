@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/instrument.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "sparse/parallel.hpp"
 
@@ -56,6 +57,8 @@ void CsrMatrix::multiply_serial(const Vector& x, Vector& y) const {
 }
 
 void CsrMatrix::multiply(const Vector& x, Vector& y) const {
+  const metrics::ScopedLatency latency(metrics::Hist::spmv_batch_seconds,
+                                       metrics::kFine);
   instrument::add_spmv(nnz());
   if (!parallel_kernels_enabled(nnz(), kSpmvGrain)) {
     multiply_serial(x, y);

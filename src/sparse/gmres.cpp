@@ -4,16 +4,19 @@
 
 #include "common/assert.hpp"
 #include "common/instrument.hpp"
+#include "common/metrics.hpp"
 #include "common/strings.hpp"
 #include "common/trace.hpp"
 
 namespace lcn::sparse {
 
 namespace {
-// Counter + fine-level span on every exit path; the span member is first so
-// its end event fires after the dtor body attaches the outcome args.
+// Counter + latency + fine-level span on every exit path; the span member
+// is first so its end event fires after the dtor body attaches the outcome
+// args.
 struct IterationRecorder {
   trace::Span span{"gmres_solve", trace::kFine};
+  metrics::ScopedLatency latency{metrics::Hist::gmres_seconds};
   const SolveReport& report;
   ~IterationRecorder() {
     instrument::add_gmres(report.iterations);

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/instrument.hpp"
+#include "common/metrics.hpp"
 #include "common/trace.hpp"
 
 namespace lcn::sparse {
@@ -390,6 +391,8 @@ void MultigridPreconditioner::vcycle_f32(std::size_t level, const VectorF& rhs,
 void MultigridPreconditioner::apply(const Vector& r, Vector& z) const {
   LCN_REQUIRE(r.size() == levels_.front().n, "multigrid apply: size mismatch");
   LCN_TRACE_SPAN_FINE("mg_vcycle");
+  const metrics::ScopedLatency latency(metrics::Hist::mg_vcycle_seconds,
+                                       metrics::kFine);
   instrument::add_mg_vcycle();
   vcycle(0, r, z);
 }
@@ -397,6 +400,8 @@ void MultigridPreconditioner::apply(const Vector& r, Vector& z) const {
 void MultigridPreconditioner::apply_f32(const VectorF& r, VectorF& z) const {
   LCN_REQUIRE(r.size() == levels_.front().n, "multigrid apply: size mismatch");
   LCN_TRACE_SPAN_FINE("mg_vcycle");
+  const metrics::ScopedLatency latency(metrics::Hist::mg_vcycle_seconds,
+                                       metrics::kFine);
   instrument::add_mg_vcycle();
   vcycle_f32(0, r, z);
 }

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/instrument.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "sparse/parallel.hpp"
@@ -148,6 +149,8 @@ template <typename T>
 void SellMatrix<T>::multiply(const std::vector<T>& x, std::vector<T>& y) const {
   LCN_REQUIRE(x.size() == cols_, "SELL SpMV: x size mismatch");
   LCN_TRACE_SPAN_FINE("sell_spmv");
+  const metrics::ScopedLatency latency(metrics::Hist::spmv_batch_seconds,
+                                       metrics::kFine);
   instrument::add_spmv(nnz_);
   y.resize(rows_);
   const std::size_t chunks = chunk_len_.size();

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/instrument.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/strings.hpp"
 #include "common/trace.hpp"
 #include "sparse/gmres.hpp"
@@ -30,17 +31,19 @@ GmresOptions gmres_options(const SolveOptions& opts) {
   return gmres;
 }
 
-// Records the final iteration count on every exit path of a solver, plus a
-// fine-level trace span carrying the outcome. The span member is declared
-// first so its end event is emitted after ~IterationRecorder has attached
-// the args (members destroy in reverse order).
+// Records the final iteration count and solve latency on every exit path of
+// a solver, plus a fine-level trace span carrying the outcome. The span
+// member is declared first so its end event is emitted after
+// ~IterationRecorder has attached the args (members destroy in reverse
+// order).
 struct IterationRecorder {
   trace::Span span;
+  metrics::ScopedLatency latency;
   const SolveReport& report;
   void (*record)(std::uint64_t);
-  IterationRecorder(const char* name, const SolveReport& r,
-                    void (*rec)(std::uint64_t))
-      : span(name, trace::kFine), report(r), record(rec) {}
+  IterationRecorder(const char* name, metrics::Hist hist,
+                    const SolveReport& r, void (*rec)(std::uint64_t))
+      : span(name, trace::kFine), latency(hist), report(r), record(rec) {}
   ~IterationRecorder() {
     record(report.iterations);
     if (span.active()) {
@@ -74,7 +77,8 @@ SolveReport cg_impl(const CsrMatrix& a, const Vector& b, Vector& x,
 
   const double bnorm = norm2(b);
   SolveReport report;
-  const IterationRecorder recorder("cg_solve", report, &instrument::add_cg);
+  const IterationRecorder recorder("cg_solve", metrics::Hist::cg_seconds,
+                                   report, &instrument::add_cg);
   const bool recording = opts.record_residuals;
   if (bnorm == 0.0) {
     x.assign(n, 0.0);
@@ -141,7 +145,8 @@ SolveReport bicgstab_impl(const CsrMatrix& a, const Vector& b, Vector& x,
 
   const double bnorm = norm2(b);
   SolveReport report;
-  const IterationRecorder recorder("bicgstab_solve", report,
+  const IterationRecorder recorder("bicgstab_solve",
+                                   metrics::Hist::bicgstab_seconds, report,
                                    &instrument::add_bicgstab);
   const bool recording = opts.record_residuals;
   if (bnorm == 0.0) {

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/env.hpp"
 #include "common/instrument.hpp"
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "sparse/solvers.hpp"
@@ -121,7 +122,11 @@ ThermalField solve_steady(const AssembledThermal& system, double rel_tolerance,
     sparse::solve_general_or_throw(system.matrix, system.rhs, temps,
                                    "steady thermal solve", opts);
   }
-  instrument::add_steady_solve(timer.seconds());
+  const double seconds = timer.seconds();
+  instrument::add_steady_solve(seconds);
+  if (metrics::enabled()) {
+    metrics::observe(metrics::Hist::solve_steady_seconds, seconds);
+  }
   return make_field(system, std::move(temps));
 }
 
